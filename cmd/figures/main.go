@@ -1,0 +1,126 @@
+// Command figures regenerates every table and figure of the paper's
+// evaluation (Table I, Fig. 6, Figs. 7a–f, Figs. 8a–f) from the simulation.
+//
+// Usage:
+//
+//	figures [-runs N] [-seed S] [-csv] [-only 7a,8f,...]
+//
+// Without -only, everything is produced in paper order. Output goes to
+// stdout; -csv switches from aligned columns to CSV.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiment"
+)
+
+func main() {
+	runs := flag.Int("runs", 4, "independent runs per combination (the paper uses 4)")
+	seed := flag.Uint64("seed", 1, "base random seed")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned columns")
+	only := flag.String("only", "", "comma-separated subset (table1,6,7a..7f,8a..8f,summary)")
+	flag.Parse()
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, k := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(strings.ToLower(k))] = true
+		}
+	}
+	selected := func(k string) bool { return len(want) == 0 || want[k] }
+
+	emit := func(fig experiment.Figure) {
+		if *csv {
+			fmt.Print(fig.CSV())
+		} else {
+			fmt.Print(fig.Render())
+		}
+		fmt.Println()
+	}
+
+	if selected("table1") {
+		fmt.Println("# Table I — the distribution of the nodes over the DAS clusters")
+		fmt.Println(experiment.Table1())
+	}
+	if selected("6") {
+		emit(experiment.Fig6())
+	}
+
+	needPRA := false
+	for _, k := range []string{"7a", "7b", "7c", "7d", "7e", "7f", "summary"} {
+		if selected(k) {
+			needPRA = true
+		}
+	}
+	needPWA := false
+	for _, k := range []string{"8a", "8b", "8c", "8d", "8e", "8f", "summary"} {
+		if selected(k) {
+			needPWA = true
+		}
+	}
+
+	base := experiment.Config{Runs: *runs, Seed: *seed}
+
+	if needPRA {
+		set, err := experiment.RunSet("PRA", experiment.PRACombos(), base)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			os.Exit(1)
+		}
+		if selected("7a") {
+			emit(set.FigSizesAvg("7a"))
+		}
+		if selected("7b") {
+			emit(set.FigSizesMax("7b"))
+		}
+		if selected("7c") {
+			emit(set.FigExecTimes("7c"))
+		}
+		if selected("7d") {
+			emit(set.FigResponseTimes("7d"))
+		}
+		if selected("7e") {
+			emit(set.FigUtilization("7e", 0, 40000, 500))
+		}
+		if selected("7f") {
+			emit(set.FigOps("7f", 0, 40000, 500))
+		}
+		if selected("summary") {
+			fmt.Println("# PRA summary (Fig. 7 aggregate)")
+			fmt.Println(set.SummaryTable())
+		}
+	}
+	if needPWA {
+		set, err := experiment.RunSet("PWA", experiment.PWACombos(), base)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			os.Exit(1)
+		}
+		if selected("8a") {
+			emit(set.FigSizesAvg("8a"))
+		}
+		if selected("8b") {
+			emit(set.FigSizesMax("8b"))
+		}
+		if selected("8c") {
+			emit(set.FigExecTimes("8c"))
+		}
+		if selected("8d") {
+			emit(set.FigResponseTimes("8d"))
+		}
+		if selected("8e") {
+			emit(set.FigUtilization("8e", 0, 12000, 200))
+		}
+		if selected("8f") {
+			emit(set.FigOps("8f", 0, 12000, 200))
+		}
+		if selected("summary") {
+			fmt.Println("# PWA summary (Fig. 8 aggregate)")
+			fmt.Println(set.SummaryTable())
+		}
+	}
+}

@@ -1,0 +1,89 @@
+// Command koalasim runs one malleability experiment on the simulated DAS-3
+// testbed and reports per-job metrics and aggregates.
+//
+// Usage:
+//
+//	koalasim [-workload Wm|Wmr|W'm|W'mr] [-policy FPSMA|EGS|EQUI|FOLD]
+//	         [-approach PRA|PWA] [-placement WF|CF|CM|FCM]
+//	         [-runs N] [-seed S] [-reserve N] [-poll SEC]
+//	         [-no-background] [-csv FILE]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiment"
+	"repro/internal/metrics"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func main() {
+	wl := flag.String("workload", "Wm", "workload: Wm, Wmr, W'm, W'mr")
+	policy := flag.String("policy", "FPSMA", "malleability policy: FPSMA, EGS, EQUI, FOLD")
+	approach := flag.String("approach", "PRA", "job management approach: PRA or PWA")
+	placement := flag.String("placement", "WF", "placement policy: WF, CF, CM, FCM")
+	runs := flag.Int("runs", 1, "independent runs to pool")
+	seed := flag.Uint64("seed", 1, "base random seed")
+	reserve := flag.Int("reserve", 0, "growth reserve per cluster for local users")
+	poll := flag.Float64("poll", 0, "scheduler poll interval in seconds (0 = default)")
+	noBg := flag.Bool("no-background", false, "disable bypassing local users")
+	csvPath := flag.String("csv", "", "write per-job records to this CSV file")
+	flag.Parse()
+
+	spec, err := workload.SpecByName(*wl, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "koalasim:", err)
+		os.Exit(1)
+	}
+	cfg := experiment.Config{
+		Workload:      spec,
+		Policy:        *policy,
+		Approach:      *approach,
+		Placement:     *placement,
+		Runs:          *runs,
+		Seed:          *seed,
+		PollInterval:  *poll,
+		GrowthReserve: *reserve,
+		NoBackground:  *noBg,
+	}
+	res, err := experiment.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "koalasim:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("experiment : %s/%s/%s placement=%s runs=%d seed=%d\n",
+		*approach, *policy, spec.Name, *placement, *runs, *seed)
+	fmt.Printf("jobs       : %d finished", len(res.Pooled))
+	rejected := 0
+	for _, run := range res.Runs {
+		rejected += run.Rejected
+	}
+	fmt.Printf(", %d rejected\n", rejected)
+	fmt.Printf("exec time  : %s\n", stats.Summarize(metrics.ExecTimesOf(res.Pooled)))
+	fmt.Printf("response   : %s\n", stats.Summarize(metrics.ResponseTimesOf(res.Pooled)))
+	mall := res.MalleableRecords()
+	if len(mall) > 0 {
+		fmt.Printf("avg procs  : %s\n", stats.Summarize(metrics.AvgProcsOf(mall)))
+		fmt.Printf("max procs  : %s\n", stats.Summarize(metrics.MaxProcsOf(mall)))
+	}
+	fmt.Printf("mean util  : %.1f processors\n", res.MeanUtilization())
+	fmt.Printf("ops/run    : %.1f malleability operations\n", res.TotalOps())
+
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "koalasim:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := metrics.WriteCSV(f, res.Pooled); err != nil {
+			fmt.Fprintln(os.Stderr, "koalasim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("records    : written to %s\n", *csvPath)
+	}
+}

@@ -1,0 +1,83 @@
+// Command workloadgen generates, inspects and round-trips the workload
+// traces of §VI-C.
+//
+// Usage:
+//
+//	workloadgen -workload Wmr -seed 7 -out trace.swf   # generate
+//	workloadgen -in trace.swf                          # inspect
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/workload"
+)
+
+func main() {
+	wl := flag.String("workload", "Wm", "workload: Wm, Wmr, W'm, W'mr")
+	seed := flag.Uint64("seed", 1, "random seed")
+	out := flag.String("out", "", "write the trace to this file (default stdout)")
+	in := flag.String("in", "", "read and summarise an existing trace instead")
+	poisson := flag.Bool("poisson", false, "use Poisson arrivals instead of fixed spacing")
+	flag.Parse()
+
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "workloadgen:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w, err := workload.ReadTrace(f)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "workloadgen:", err)
+			os.Exit(1)
+		}
+		summarize(w)
+		return
+	}
+
+	spec, err := workload.SpecByName(*wl, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "workloadgen:", err)
+		os.Exit(1)
+	}
+	spec.PoissonArrivals = *poisson
+	w, err := workload.Generate(spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "workloadgen:", err)
+		os.Exit(1)
+	}
+	dst := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "workloadgen:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		dst = f
+	}
+	if err := workload.WriteTrace(dst, w); err != nil {
+		fmt.Fprintln(os.Stderr, "workloadgen:", err)
+		os.Exit(1)
+	}
+	if *out != "" {
+		summarize(w)
+	}
+}
+
+func summarize(w *workload.Workload) {
+	ft, gadget := 0, 0
+	for _, it := range w.Items {
+		if it.App == workload.FT {
+			ft++
+		} else {
+			gadget++
+		}
+	}
+	fmt.Printf("workload %s: %d jobs (%d malleable, %d FT / %d GADGET2), span %.0f s\n",
+		w.Name, len(w.Items), w.CountMalleable(), ft, gadget, w.Duration())
+}

@@ -1,0 +1,65 @@
+// Backgroundload: demonstrate §V-B — local users who bypass KOALA entirely.
+// The malleability manager discovers their load only through periodic KIS
+// polling, and a growth reserve keeps a minimum of processors free for them.
+//
+// Run with: go run ./examples/backgroundload
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/app"
+	"repro/internal/cluster"
+	"repro/internal/core"
+)
+
+func main() {
+	grid := cluster.NewMulticluster(cluster.New("delft", 68))
+	clus := grid.Get("delft")
+
+	// Reserve 8 processors for local users: KOALA never grows jobs into
+	// that headroom.
+	sys := core.NewSystem(core.SystemConfig{
+		Grid: grid,
+		Manager: core.ManagerConfig{
+			Policy:        core.EGS{},
+			Approach:      core.PRA{},
+			GrowthReserve: 8,
+		},
+	})
+
+	// Local users seize 30 nodes directly (bypassing KOALA) before the grid
+	// job arrives; they leave at t=150.
+	if err := clus.SeizeBackground(30); err != nil {
+		panic(err)
+	}
+	fmt.Println("t=  0s  local users seize 30 nodes (KOALA discovers this only by polling)")
+	sys.Engine.At(150, func() {
+		if err := clus.ReleaseBackground(30); err != nil {
+			panic(err)
+		}
+		fmt.Println("t=150s  local users leave")
+	})
+
+	job, err := sys.SubmitMalleable("gadget", app.GadgetProfile(), 2)
+	if err != nil {
+		panic(err)
+	}
+
+	maxUnderLoad := 0
+	for t := 25.0; t <= 400; t += 25 {
+		sys.Run(t)
+		if sys.Engine.Now() <= 150 && job.CurrentProcs() > maxUnderLoad {
+			maxUnderLoad = job.CurrentProcs()
+		}
+		fmt.Printf("t=%3.0fs  job=%2d procs  cluster: used=%2d background=%2d idle=%2d\n",
+			sys.Engine.Now(), job.CurrentProcs(), clus.Used(), clus.Background(), clus.Idle())
+	}
+	if err := sys.RunUntilDone(10000); err != nil {
+		panic(err)
+	}
+	fmt.Printf("\njob finished at t=%.0fs\n", job.EndTime())
+	fmt.Printf("while local users were active it never exceeded %d procs\n", maxUnderLoad)
+	fmt.Println("(68 nodes − 30 background − 8 growth reserve = 30 available for growth);")
+	fmt.Println("after they left it grew towards its own maximum of 46.")
+}

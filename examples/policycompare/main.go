@@ -1,0 +1,54 @@
+// Policycompare: run the paper's Wm workload (scaled down) under the PRA
+// approach with each malleability policy — FPSMA and EGS from the paper,
+// plus the Equipartition and Folding baselines of §III — and compare the
+// Fig. 7 style metrics.
+//
+// Run with: go run ./examples/policycompare
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/experiment"
+	"repro/internal/metrics"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func main() {
+	fmt.Println("Policy comparison on Wm (120 s inter-arrival, all malleable), PRA approach")
+	fmt.Printf("%-8s %10s %10s %10s %10s %10s\n",
+		"policy", "exec(s)", "resp(s)", "avg-size", "stuck@2", "ops/run")
+
+	for _, policy := range []string{"FPSMA", "EGS", "EQUI", "FOLD"} {
+		spec := workload.Wm(1)
+		spec.Jobs = 100 // scaled down for a quick demo; use 300 for the paper
+		res, err := experiment.Run(experiment.Config{
+			Workload: spec,
+			Policy:   policy,
+			Approach: "PRA",
+			Runs:     2,
+			Seed:     1,
+		})
+		if err != nil {
+			panic(err)
+		}
+		mall := res.MalleableRecords()
+		stuck := 0
+		for _, r := range mall {
+			if r.MaxProcs <= 2 {
+				stuck++
+			}
+		}
+		fmt.Printf("%-8s %10.1f %10.1f %10.1f %9.0f%% %10.1f\n",
+			policy,
+			res.MeanExecution(),
+			res.MeanResponse(),
+			stats.Mean(metrics.AvgProcsOf(mall)),
+			100*float64(stuck)/float64(len(mall)),
+			res.TotalOps(),
+		)
+	}
+	fmt.Println("\nEGS spreads growth over all jobs (fewer stuck at the minimum);")
+	fmt.Println("FPSMA concentrates it on the oldest. EQUI and FOLD are the §III baselines.")
+}

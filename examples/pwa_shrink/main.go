@@ -1,0 +1,60 @@
+// Pwa_shrink: demonstrate the PWA approach of §V-B — when a waiting job
+// cannot be placed, running malleable jobs are mandatorily shrunk to make
+// room for it.
+//
+// Run with: go run ./examples/pwa_shrink
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/app"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/koala"
+)
+
+func main() {
+	grid := cluster.NewMulticluster(cluster.New("single", 48))
+	sys := core.NewSystem(core.SystemConfig{
+		Grid: grid,
+		Manager: core.ManagerConfig{
+			Policy:   core.FPSMA{},
+			Approach: core.PWA{},
+		},
+	})
+
+	// A long malleable job grows to fill the cluster...
+	long, err := sys.SubmitMalleable("long-gadget", app.GadgetProfile(), 2)
+	if err != nil {
+		panic(err)
+	}
+	sys.Run(200)
+	fmt.Printf("t=%3.0fs  long job grown to %d processors, cluster idle=%d\n",
+		sys.Engine.Now(), long.CurrentProcs(), grid.Get("single").Idle())
+
+	// ...then a rigid job arrives that needs 8 processors. Under PRA it
+	// would wait for the long job to finish; under PWA the manager shrinks
+	// the long job (a mandatory shrink) to host it.
+	rigid, err := sys.SubmitRigid("rigid-ft", app.FTModel(), 8)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("t=%3.0fs  rigid job needing 8 processors submitted\n", sys.Engine.Now())
+
+	for t := 220.0; rigid.State() != koala.Running && t < 2000; t += 20 {
+		sys.Run(t)
+	}
+	fmt.Printf("t=%3.0fs  rigid job state=%s; long job shrunk to %d processors\n",
+		sys.Engine.Now(), rigid.State(), long.CurrentProcs())
+	fmt.Printf("         mandatory shrink operations so far: %.0f\n",
+		sys.Manager.ShrinkOps().Total())
+
+	if err := sys.RunUntilDone(20000); err != nil {
+		panic(err)
+	}
+	fmt.Printf("\nall jobs done: long exec=%.0fs, rigid exec=%.0fs (wait %.0fs)\n",
+		long.EndTime()-long.StartTime(),
+		rigid.EndTime()-rigid.StartTime(),
+		rigid.StartTime()-rigid.SubmitTime())
+}

@@ -1,0 +1,68 @@
+// Quickstart: build a simulated multicluster, submit a handful of malleable
+// jobs through KOALA, and watch the malleability manager grow them as
+// processors become available.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/app"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/koala"
+)
+
+func main() {
+	// A small two-cluster grid (use cluster.DAS3() for the full testbed).
+	grid := cluster.NewMulticluster(
+		cluster.New("left", 64),
+		cluster.New("right", 32),
+	)
+
+	// KOALA + the malleability manager: FPSMA policy under the PRA approach.
+	sys := core.NewSystem(core.SystemConfig{
+		Grid: grid,
+		Manager: core.ManagerConfig{
+			Policy:   core.FPSMA{},
+			Approach: core.PRA{},
+		},
+	})
+
+	// Submit three malleable jobs at their minimal size of 2 processors:
+	// two long GADGET-2 runs and one short FT kernel.
+	var jobs []*koala.Job
+	for i, profile := range []*app.Profile{
+		app.GadgetProfile(), app.GadgetProfile(), app.FTProfile(),
+	} {
+		id := fmt.Sprintf("job-%d", i)
+		j, err := sys.SubmitMalleable(id, profile, 2)
+		if err != nil {
+			panic(err)
+		}
+		jobs = append(jobs, j)
+	}
+
+	// Observe the system once a minute of virtual time.
+	for t := 60.0; t <= 600; t += 60 {
+		sys.Run(t)
+		fmt.Printf("t=%4.0fs  grid: %-28s", sys.Engine.Now(), grid.String())
+		for _, j := range jobs {
+			fmt.Printf("  %s=%d procs (%s)", j.Spec.ID, j.CurrentProcs(), j.State())
+		}
+		fmt.Println()
+	}
+
+	// Let everything finish and report.
+	if err := sys.RunUntilDone(10000); err != nil {
+		panic(err)
+	}
+	fmt.Println()
+	for _, j := range jobs {
+		fmt.Printf("%s: execution %.0f s, response %.0f s\n",
+			j.Spec.ID, j.EndTime()-j.StartTime(), j.EndTime()-j.SubmitTime())
+	}
+	fmt.Printf("grow operations performed by the manager: %.0f\n",
+		sys.Manager.GrowOps().Total())
+}

@@ -1,0 +1,220 @@
+package app
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func constProfile(name string, t2 float64, min, max int) *Profile {
+	return &Profile{
+		Name:  name,
+		Class: Malleable,
+		Model: NewTableModel(name+"-m", []TablePoint{{1, t2 * 2}, {2, t2}, {max, t2 * 2 / float64(max)}}),
+		Min:   min,
+		Max:   max,
+	}
+}
+
+func TestConstantSizeRunFinishesAtModelTime(t *testing.T) {
+	e := sim.New()
+	g := GadgetProfile()
+	var finishedAt float64 = -1
+	NewExecution(e, g, 2, func() { finishedAt = e.Now() })
+	e.Run()
+	if math.Abs(finishedAt-600) > 1e-6 {
+		t.Fatalf("finished at %g, want 600", finishedAt)
+	}
+}
+
+func TestGrowSpeedsUpCompletion(t *testing.T) {
+	e := sim.New()
+	g := GadgetProfile()
+	var finishedAt float64 = -1
+	x := NewExecution(e, g, 2, func() { finishedAt = e.Now() })
+	// At t=300 half the work is done; grow to 46 procs.
+	e.At(300, func() { x.SetProcs(46) })
+	e.Run()
+	// Remaining half at T(46)=240 takes 120 s → finish at 420.
+	if math.Abs(finishedAt-420) > 1e-6 {
+		t.Fatalf("finished at %g, want 420", finishedAt)
+	}
+}
+
+func TestShrinkSlowsDownCompletion(t *testing.T) {
+	e := sim.New()
+	g := GadgetProfile()
+	var finishedAt float64 = -1
+	x := NewExecution(e, g, 46, func() { finishedAt = e.Now() })
+	e.At(120, func() { x.SetProcs(2) }) // half done at 120
+	e.Run()
+	if math.Abs(finishedAt-(120+300)) > 1e-6 {
+		t.Fatalf("finished at %g, want 420", finishedAt)
+	}
+}
+
+func TestProgressReporting(t *testing.T) {
+	e := sim.New()
+	g := GadgetProfile()
+	x := NewExecution(e, g, 2, nil)
+	e.At(150, func() {
+		if p := x.Progress(); math.Abs(p-0.25) > 1e-9 {
+			t.Errorf("Progress at 150 = %g, want 0.25", p)
+		}
+	})
+	e.Run()
+	if !x.Done() || x.Progress() != 1 {
+		t.Fatalf("done=%v progress=%g", x.Done(), x.Progress())
+	}
+}
+
+func TestPauseStopsProgress(t *testing.T) {
+	e := sim.New()
+	p := constProfile("p", 100, 1, 8)
+	var finishedAt float64 = -1
+	x := NewExecution(e, p, 2, func() { finishedAt = e.Now() })
+	e.At(10, func() { x.Pause() })
+	e.At(40, func() { x.Resume() })
+	e.Run()
+	if math.Abs(finishedAt-130) > 1e-6 {
+		t.Fatalf("finished at %g, want 130 (100 + 30 pause)", finishedAt)
+	}
+}
+
+func TestPauseForAutoResumes(t *testing.T) {
+	e := sim.New()
+	p := constProfile("p", 100, 1, 8)
+	var finishedAt float64 = -1
+	x := NewExecution(e, p, 2, func() { finishedAt = e.Now() })
+	e.At(50, func() { x.PauseFor(25) })
+	e.Run()
+	if math.Abs(finishedAt-125) > 1e-6 {
+		t.Fatalf("finished at %g, want 125", finishedAt)
+	}
+}
+
+func TestNestedPause(t *testing.T) {
+	e := sim.New()
+	p := constProfile("p", 100, 1, 8)
+	var finishedAt float64 = -1
+	x := NewExecution(e, p, 2, func() { finishedAt = e.Now() })
+	e.At(10, func() { x.Pause() })
+	e.At(20, func() { x.Pause() })
+	e.At(30, func() { x.Resume() }) // still paused
+	e.At(50, func() { x.Resume() }) // now resumes
+	e.Run()
+	if math.Abs(finishedAt-140) > 1e-6 {
+		t.Fatalf("finished at %g, want 140", finishedAt)
+	}
+}
+
+func TestResumeWithoutPausePanics(t *testing.T) {
+	e := sim.New()
+	x := NewExecution(e, GadgetProfile(), 2, nil)
+	defer func() {
+		if recover() == nil {
+			t.Error("Resume without Pause did not panic")
+		}
+	}()
+	x.Resume()
+}
+
+func TestAbortStopsWithoutFinish(t *testing.T) {
+	e := sim.New()
+	finished := false
+	x := NewExecution(e, GadgetProfile(), 2, func() { finished = true })
+	e.At(100, func() { x.Abort() })
+	e.Run()
+	if finished {
+		t.Fatal("onFinish fired after Abort")
+	}
+	if !x.Done() {
+		t.Fatal("aborted execution should be done")
+	}
+}
+
+func TestSetProcsOutOfRangePanics(t *testing.T) {
+	e := sim.New()
+	x := NewExecution(e, FTProfile(), 2, nil)
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range SetProcs did not panic")
+		}
+	}()
+	x.SetProcs(64)
+}
+
+func TestStartOutOfRangePanics(t *testing.T) {
+	e := sim.New()
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range start did not panic")
+		}
+	}()
+	NewExecution(e, FTProfile(), 1, nil)
+}
+
+func TestHistoryRecordsSteps(t *testing.T) {
+	e := sim.New()
+	g := GadgetProfile()
+	x := NewExecution(e, g, 2, nil)
+	e.At(100, func() { x.SetProcs(10) })
+	e.Run()
+	times, procs := x.History()
+	if len(times) != 3 { // start, resize, finish(0)
+		t.Fatalf("history has %d entries: %v %v", len(times), times, procs)
+	}
+	if procs[0] != 2 || procs[1] != 10 || procs[2] != 0 {
+		t.Fatalf("history procs = %v", procs)
+	}
+	if times[1] != 100 {
+		t.Fatalf("history times = %v", times)
+	}
+}
+
+func TestDefaultReconfigCostsPositive(t *testing.T) {
+	c := DefaultReconfigCosts()
+	if c.RecruitPause <= 0 || c.SafePointDelay <= 0 || c.RedistributePause <= 0 {
+		t.Fatalf("non-positive defaults: %+v", c)
+	}
+}
+
+// Property (work conservation): for any sequence of resize instants, the
+// total integrated work Σ rate(p_i)·Δt_i equals 1 at the finish instant.
+func TestPropertyWorkConservation(t *testing.T) {
+	g := GadgetProfile()
+	f := func(resizes []uint8) bool {
+		e := sim.New()
+		var finishedAt float64 = -1
+		x := NewExecution(e, g, 2, func() { finishedAt = e.Now() })
+		tm := 0.0
+		for _, r := range resizes {
+			tm += float64(r%50) + 1
+			at := tm
+			p := 2 + int(r)%(g.Max-1)
+			e.At(at, func() {
+				if !x.Done() {
+					x.SetProcs(p)
+				}
+			})
+		}
+		e.Run()
+		if finishedAt < 0 {
+			return false
+		}
+		// Re-integrate the recorded history independently.
+		times, procs := x.History()
+		work := 0.0
+		for i := 0; i+1 < len(times); i++ {
+			if procs[i] > 0 {
+				work += (times[i+1] - times[i]) / g.Model.Time(procs[i])
+			}
+		}
+		return math.Abs(work-1) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

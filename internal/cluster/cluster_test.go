@@ -1,0 +1,243 @@
+package cluster
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewClusterBasics(t *testing.T) {
+	c := New("delft", 68)
+	if c.Name() != "delft" || c.Nodes() != 68 || c.Idle() != 68 || c.Used() != 0 {
+		t.Fatalf("bad fresh cluster: %+v", c)
+	}
+}
+
+func TestNewClusterPanicsOnZeroNodes(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero-node cluster did not panic")
+		}
+	}()
+	New("x", 0)
+}
+
+func TestAllocateAndRelease(t *testing.T) {
+	c := New("c", 10)
+	a, err := c.Allocate(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Idle() != 6 || c.Used() != 4 || a.Nodes() != 4 {
+		t.Fatalf("after alloc: idle=%d used=%d a=%d", c.Idle(), c.Used(), a.Nodes())
+	}
+	if err := a.Release(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Idle() != 10 || a.Nodes() != 0 || !a.Released() {
+		t.Fatalf("after release: idle=%d a=%d", c.Idle(), a.Nodes())
+	}
+	if err := a.Release(); err == nil {
+		t.Fatal("double release should fail")
+	}
+}
+
+func TestAllocateErrors(t *testing.T) {
+	c := New("c", 4)
+	if _, err := c.Allocate(0); err == nil {
+		t.Fatal("zero allocation should fail")
+	}
+	if _, err := c.Allocate(-1); err == nil {
+		t.Fatal("negative allocation should fail")
+	}
+	if _, err := c.Allocate(5); !errors.Is(err, ErrInsufficientNodes) {
+		t.Fatalf("oversized allocation: err = %v", err)
+	}
+}
+
+func TestGrowShrink(t *testing.T) {
+	c := New("c", 10)
+	a, _ := c.Allocate(3)
+	if err := a.Grow(4); err != nil {
+		t.Fatal(err)
+	}
+	if a.Nodes() != 7 || c.Idle() != 3 {
+		t.Fatalf("after grow: a=%d idle=%d", a.Nodes(), c.Idle())
+	}
+	if err := a.Grow(4); !errors.Is(err, ErrInsufficientNodes) {
+		t.Fatalf("overgrow: err = %v", err)
+	}
+	if err := a.Shrink(5); err != nil {
+		t.Fatal(err)
+	}
+	if a.Nodes() != 2 || c.Idle() != 8 {
+		t.Fatalf("after shrink: a=%d idle=%d", a.Nodes(), c.Idle())
+	}
+	// Shrinking to zero or below must fail; Release is the way out.
+	if err := a.Shrink(2); err == nil {
+		t.Fatal("shrink to zero should fail")
+	}
+	if err := a.Shrink(0); err == nil {
+		t.Fatal("shrink by zero should fail")
+	}
+}
+
+func TestOperationsOnReleasedAllocation(t *testing.T) {
+	c := New("c", 10)
+	a, _ := c.Allocate(2)
+	a.Release()
+	if err := a.Grow(1); err == nil {
+		t.Fatal("grow on released should fail")
+	}
+	if err := a.Shrink(1); err == nil {
+		t.Fatal("shrink on released should fail")
+	}
+}
+
+func TestBackgroundLoad(t *testing.T) {
+	c := New("c", 10)
+	if err := c.SeizeBackground(6); err != nil {
+		t.Fatal(err)
+	}
+	if c.Idle() != 4 || c.Background() != 6 {
+		t.Fatalf("after seize: idle=%d bg=%d", c.Idle(), c.Background())
+	}
+	if _, err := c.Allocate(5); !errors.Is(err, ErrInsufficientNodes) {
+		t.Fatal("allocation should see background-held nodes as busy")
+	}
+	if err := c.SeizeBackground(5); !errors.Is(err, ErrInsufficientNodes) {
+		t.Fatal("over-seize should fail")
+	}
+	if err := c.ReleaseBackground(2); err != nil {
+		t.Fatal(err)
+	}
+	if c.Idle() != 6 {
+		t.Fatalf("idle = %d after background release", c.Idle())
+	}
+	if err := c.ReleaseBackground(10); err == nil {
+		t.Fatal("over-release should fail")
+	}
+	if err := c.SeizeBackground(0); err == nil {
+		t.Fatal("zero seize should fail")
+	}
+}
+
+// Property: any sequence of allocate/grow/shrink/release/background ops keeps
+// used+background+idle == nodes and all terms non-negative.
+func TestPropertyAccountingInvariant(t *testing.T) {
+	type op struct {
+		Kind byte
+		N    uint8
+	}
+	f := func(ops []op) bool {
+		c := New("p", 64)
+		var allocs []*Allocation
+		for _, o := range ops {
+			n := int(o.N%16) + 1
+			switch o.Kind % 5 {
+			case 0:
+				if a, err := c.Allocate(n); err == nil {
+					allocs = append(allocs, a)
+				}
+			case 1:
+				if len(allocs) > 0 {
+					allocs[len(allocs)-1].Grow(n)
+				}
+			case 2:
+				if len(allocs) > 0 {
+					allocs[len(allocs)-1].Shrink(n)
+				}
+			case 3:
+				if len(allocs) > 0 {
+					a := allocs[len(allocs)-1]
+					allocs = allocs[:len(allocs)-1]
+					if !a.Released() {
+						a.Release()
+					}
+				}
+			case 4:
+				if o.N%2 == 0 {
+					c.SeizeBackground(n)
+				} else {
+					c.ReleaseBackground(n)
+				}
+			}
+			sum := 0
+			for _, a := range allocs {
+				sum += a.Nodes()
+			}
+			if sum != c.Used() {
+				return false
+			}
+			if c.Used()+c.Background()+c.Idle() != c.Nodes() {
+				return false
+			}
+			if c.Used() < 0 || c.Background() < 0 || c.Idle() < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMulticlusterTotals(t *testing.T) {
+	m := NewMulticluster(New("a", 10), New("b", 20))
+	if m.TotalNodes() != 30 || m.TotalIdle() != 30 {
+		t.Fatalf("totals wrong: %d/%d", m.TotalNodes(), m.TotalIdle())
+	}
+	a, _ := m.Get("a").Allocate(4)
+	m.Get("b").SeizeBackground(5)
+	if m.TotalUsed() != 4 || m.TotalBackground() != 5 || m.TotalIdle() != 21 {
+		t.Fatalf("totals: used=%d bg=%d idle=%d", m.TotalUsed(), m.TotalBackground(), m.TotalIdle())
+	}
+	a.Release()
+	if m.Get("missing") != nil {
+		t.Fatal("Get of missing cluster should be nil")
+	}
+	if m.String() == "" {
+		t.Fatal("String should render")
+	}
+}
+
+func TestMulticlusterDuplicateNamePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate name did not panic")
+		}
+	}()
+	NewMulticluster(New("x", 1), New("x", 2))
+}
+
+func TestDAS3MatchesTableI(t *testing.T) {
+	m := DAS3()
+	want := map[string]int{"VU": 85, "UvA": 41, "Delft": 68, "MMN": 46, "Leiden": 32}
+	if len(m.Clusters()) != 5 {
+		t.Fatalf("DAS3 has %d clusters, want 5", len(m.Clusters()))
+	}
+	for name, nodes := range want {
+		c := m.Get(name)
+		if c == nil {
+			t.Fatalf("missing cluster %s", name)
+		}
+		if c.Nodes() != nodes {
+			t.Errorf("%s has %d nodes, want %d", name, c.Nodes(), nodes)
+		}
+	}
+	if m.TotalNodes() != 272 {
+		t.Fatalf("DAS3 total = %d, want 272", m.TotalNodes())
+	}
+	tbl := m.TableI()
+	if tbl == "" {
+		t.Fatal("TableI should render")
+	}
+}
+
+func TestClusterInfoFields(t *testing.T) {
+	c := NewWithInfo("Delft", "Delft University", "1/10 GbE", 68)
+	if c.Location() != "Delft University" || c.Interconnect() != "1/10 GbE" {
+		t.Fatalf("info fields lost: %q %q", c.Location(), c.Interconnect())
+	}
+}

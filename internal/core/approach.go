@@ -1,0 +1,141 @@
+package core
+
+import "repro/internal/koala"
+
+// Approach is a job-management approach (§V-B): it decides *when* the
+// malleability management policies run, and whether running or waiting
+// applications take precedence.
+type Approach interface {
+	Name() string
+	// OnPoll runs the periodic management round against a fresh snapshot.
+	OnPoll(m *Manager, snap koala.Snapshot)
+	// OnProcessorsAvailable reacts to processors returning (job finished).
+	OnProcessorsAvailable(m *Manager)
+	// OnPlacementBlocked reacts to the queue head being unplaceable; it
+	// returns true when room is being made for the job (scanning stops).
+	OnPlacementBlocked(m *Manager, j *koala.Job) bool
+}
+
+// PRA gives Precedence to Running Applications (§V-B): whenever processors
+// become available, running malleable jobs are grown first; waiting jobs are
+// only placed with whatever is left once no running malleable job can grow
+// further. Jobs are never shrunk.
+type PRA struct{}
+
+// Name implements Approach.
+func (PRA) Name() string { return "PRA" }
+
+// OnPoll implements Approach: grow running jobs, then let the queue have the
+// remainder.
+func (PRA) OnPoll(m *Manager, snap koala.Snapshot) {
+	m.growAll(snap)
+	m.sched.ScanQueue()
+}
+
+// OnProcessorsAvailable implements Approach: identical to a poll round with
+// a fresh snapshot — first the running applications, then the queue.
+func (PRA) OnProcessorsAvailable(m *Manager) {
+	m.growAll(m.sched.KIS().Refresh())
+	m.sched.ScanQueue()
+}
+
+// OnPlacementBlocked implements Approach: PRA never shrinks for waiting
+// jobs; they wait for processors to free up naturally.
+func (PRA) OnPlacementBlocked(*Manager, *koala.Job) bool { return false }
+
+// PWA gives Precedence to Waiting Applications (§V-B): when the next queued
+// job cannot be placed, running malleable jobs are mandatorily shrunk to
+// make room for it. Only when even shrinking to minimum sizes cannot free
+// enough processors are the running jobs considered for growing.
+type PWA struct{}
+
+// Name implements Approach.
+func (PWA) Name() string { return "PWA" }
+
+// OnPoll implements Approach: the queue gets precedence; growth happens only
+// when no job is waiting.
+func (PWA) OnPoll(m *Manager, snap koala.Snapshot) {
+	m.sched.ScanQueue()
+	if m.sched.QueueLength() == 0 {
+		m.growAll(m.sched.KIS().Refresh())
+	}
+}
+
+// OnProcessorsAvailable implements Approach: "whenever processors become
+// available, the placement queue is scanned in order to find a job to be
+// placed".
+func (PWA) OnProcessorsAvailable(m *Manager) {
+	m.sched.ScanQueue()
+	if m.sched.QueueLength() == 0 {
+		m.growAll(m.sched.KIS().Refresh())
+	}
+}
+
+// OnPlacementBlocked implements Approach: mandatory shrinks on the cluster
+// that can (eventually) host the blocked job. If no cluster can host it even
+// with every running malleable job at its minimum, the running jobs are
+// grown instead (§V-B) and scanning continues.
+func (PWA) OnPlacementBlocked(m *Manager, j *koala.Job) bool {
+	need := j.Spec.TotalSize()
+	snap := m.sched.KIS().Last()
+	// Choose the cluster where the fewest shrunk processors make the job
+	// fit: maximise idle+shrinkable headroom, then minimise shrink amount.
+	var best *koala.Site
+	bestShort := 0
+	for _, site := range m.sched.Sites() {
+		idle := snap.Idle(site.Name()) - m.sched.PendingClaims(site.Name()) - m.inflightGrowth(site.Name())
+		short := need - idle
+		if short <= 0 {
+			// It already fits; the placement failure was transient (e.g.
+			// in-flight growth) — no shrinking needed.
+			return false
+		}
+		if m.shrinkable(site) >= short {
+			if best == nil || short < bestShort {
+				best = site
+				bestShort = short
+			}
+		}
+	}
+	if best == nil {
+		// Even shrinking everything to minimum sizes cannot host the job:
+		// grow the running applications instead.
+		m.growAll(snap)
+		return false
+	}
+	m.shrinkSite(best, bestShort)
+	return true
+}
+
+// Manual is a degenerate approach for studies of application-initiated
+// malleability (§II-C): the manager never grows or shrinks jobs on its own —
+// it only serves the placement queue and answers AppGrowRequest calls.
+type Manual struct{}
+
+// Name implements Approach.
+func (Manual) Name() string { return "MANUAL" }
+
+// OnPoll implements Approach.
+func (Manual) OnPoll(m *Manager, _ koala.Snapshot) { m.sched.ScanQueue() }
+
+// OnProcessorsAvailable implements Approach.
+func (Manual) OnProcessorsAvailable(m *Manager) { m.sched.ScanQueue() }
+
+// OnPlacementBlocked implements Approach.
+func (Manual) OnPlacementBlocked(*Manager, *koala.Job) bool { return false }
+
+// ApproachByName returns the approach registered under name.
+func ApproachByName(name string) (Approach, bool) {
+	switch name {
+	case "PRA", "pra":
+		return PRA{}, true
+	case "PWA", "pwa":
+		return PWA{}, true
+	case "PWAV", "pwav":
+		return PWAVoluntary{}, true
+	case "MANUAL", "manual":
+		return Manual{}, true
+	default:
+		return nil, false
+	}
+}

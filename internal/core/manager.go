@@ -1,0 +1,232 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/koala"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// ManagerConfig tunes the malleability manager.
+type ManagerConfig struct {
+	// Policy distributes grow/shrink amounts over jobs (FPSMA or EGS).
+	Policy Policy
+	// Approach decides when management rounds run (PRA or PWA).
+	Approach Approach
+	// GrowthReserve keeps this many processors per cluster off-limits to
+	// growth, "in order to leave always a minimal number of available
+	// processors to local users" (§V-B). Initial placement is not affected.
+	GrowthReserve int
+}
+
+// DefaultManagerConfig is FPSMA under PRA with no reserve.
+func DefaultManagerConfig() ManagerConfig {
+	return ManagerConfig{Policy: FPSMA{}, Approach: PRA{}, GrowthReserve: 0}
+}
+
+// Manager is the malleability manager added to KOALA's scheduler (§V-A): it
+// is responsible for triggering changes of the resource allocations of
+// malleable jobs. It implements koala.Hooks and is driven by the scheduler's
+// periodic KIS polling (so background load is accounted for dynamically) and
+// by availability/blocked events.
+type Manager struct {
+	engine *sim.Engine
+	sched  *koala.Scheduler
+	cfg    ManagerConfig
+
+	growMsgs      *stats.Counter // grow messages over time (Fig. 7f)
+	shrinkMsgs    *stats.Counter // shrink messages over time (Fig. 8f)
+	declined      uint64
+	blockedEvents uint64
+	appGrowMsgs   uint64
+
+	// prevAvail remembers the last observed growth headroom per site.
+	// Growth rounds run when processors *become available* (§V-B) — an
+	// edge trigger, not a level trigger — so a site whose availability is
+	// unchanged since the previous poll is left alone.
+	prevAvail map[string]int
+}
+
+// NewManager attaches a malleability manager to the scheduler.
+func NewManager(engine *sim.Engine, sched *koala.Scheduler, cfg ManagerConfig) *Manager {
+	if cfg.Policy == nil {
+		cfg.Policy = FPSMA{}
+	}
+	if cfg.Approach == nil {
+		cfg.Approach = PRA{}
+	}
+	if cfg.GrowthReserve < 0 {
+		panic(fmt.Sprintf("core: negative growth reserve %d", cfg.GrowthReserve))
+	}
+	m := &Manager{
+		engine:     engine,
+		sched:      sched,
+		cfg:        cfg,
+		growMsgs:   stats.NewCounter(),
+		shrinkMsgs: stats.NewCounter(),
+		prevAvail:  make(map[string]int),
+	}
+	sched.SetHooks(m)
+	return m
+}
+
+// Policy returns the configured malleability management policy.
+func (m *Manager) Policy() Policy { return m.cfg.Policy }
+
+// Approach returns the configured job management approach.
+func (m *Manager) Approach() Approach { return m.cfg.Approach }
+
+// GrowOps returns the cumulative count of grow operations (Fig. 7f).
+func (m *Manager) GrowOps() *stats.Counter { return m.growMsgs }
+
+// ShrinkOps returns the cumulative count of shrink operations.
+func (m *Manager) ShrinkOps() *stats.Counter { return m.shrinkMsgs }
+
+// Declined returns the number of management rounds that produced no change.
+func (m *Manager) Declined() uint64 { return m.declined }
+
+// Poll implements koala.Hooks: one management round per scheduler poll.
+func (m *Manager) Poll(snap koala.Snapshot) {
+	m.cfg.Approach.OnPoll(m, snap)
+}
+
+// ProcessorsAvailable implements koala.Hooks.
+func (m *Manager) ProcessorsAvailable() {
+	m.cfg.Approach.OnProcessorsAvailable(m)
+}
+
+// PlacementBlocked implements koala.Hooks.
+func (m *Manager) PlacementBlocked(j *koala.Job) bool {
+	m.blockedEvents++
+	return m.cfg.Approach.OnPlacementBlocked(m, j)
+}
+
+// BlockedEvents returns how many head-of-queue placement failures were
+// reported to the manager.
+func (m *Manager) BlockedEvents() uint64 { return m.blockedEvents }
+
+// Reserved implements koala.Hooks: processors granted to growing jobs whose
+// stub submissions are still in flight. The scheduler subtracts them from
+// every placement view.
+func (m *Manager) Reserved(site string) int { return m.inflightGrowth(site) }
+
+// inflightGrowth sums planned-but-not-yet-held processors over the running
+// malleable jobs of a site.
+func (m *Manager) inflightGrowth(site string) int {
+	total := 0
+	for _, j := range m.sched.RunningMalleableJobs(site) {
+		if d := j.PlannedProcs() - j.HeldProcs(); d > 0 {
+			total += d
+		}
+	}
+	return total
+}
+
+// availableForGrowth computes how many processors of a site the manager may
+// hand to malleable jobs right now: the snapshot's idle count minus claims
+// still in flight, minus growth already granted but not yet held, minus the
+// local-user reserve.
+func (m *Manager) availableForGrowth(snap koala.Snapshot, site *koala.Site) int {
+	return snap.Idle(site.Name()) - m.sched.PendingClaims(site.Name()) -
+		m.inflightGrowth(site.Name()) - m.cfg.GrowthReserve
+}
+
+// totalMsgs sums the grow and shrink messages received so far by the
+// malleable runners of the given jobs.
+func totalMsgs(jobs []*koala.Job) (grow, shrink uint64) {
+	for _, j := range jobs {
+		if mr := j.MRunner(); mr != nil {
+			g, s := mr.Stats()
+			grow += g
+			shrink += s
+		}
+	}
+	return grow, shrink
+}
+
+// growSite runs one grow round on a site with the given number of available
+// processors as the grow value, counting the grow messages the policy sent
+// (the paper's Fig. 7f metric). Jobs at their maximum still receive offers,
+// as in the Fig. 4/5 pseudo-code — they simply decline.
+func (m *Manager) growSite(site *koala.Site, avail int) int {
+	jobs := m.sched.RunningMalleableJobs(site.Name())
+	if len(jobs) == 0 || avail <= 0 {
+		return 0
+	}
+	before, _ := totalMsgs(jobs)
+	accepted := m.cfg.Policy.Grow(jobs, avail)
+	after, _ := totalMsgs(jobs)
+	if sent := int(after - before); sent > 0 {
+		m.growMsgs.Inc(m.engine.Now(), sent)
+	}
+	if accepted == 0 {
+		m.declined++
+	}
+	return accepted
+}
+
+// growAll runs grow rounds on the sites whose availability has increased
+// since the last observation. The grow value of a round is the number of
+// processors that *became* available since then (clamped to the current
+// headroom): growth is driven by availability events — a job finishing, a
+// local user leaving — exactly as §V-B describes, rather than by repeatedly
+// re-offering idle capacity that the policies already declined.
+func (m *Manager) growAll(snap koala.Snapshot) int {
+	total := 0
+	for _, site := range m.sched.Sites() {
+		avail := m.availableForGrowth(snap, site)
+		prev, seen := m.prevAvail[site.Name()]
+		grow := avail
+		if seen {
+			base := prev
+			if base < 0 {
+				base = 0
+			}
+			grow = avail - base
+		}
+		if grow > 0 && avail > 0 {
+			if grow > avail {
+				grow = avail
+			}
+			total += m.growSite(site, grow)
+			// Remember the post-round headroom (accepted growth is now in
+			// flight and discounted by availableForGrowth).
+			m.prevAvail[site.Name()] = m.availableForGrowth(snap, site)
+			continue
+		}
+		m.prevAvail[site.Name()] = avail
+	}
+	return total
+}
+
+// shrinkSite requests need processors back from a site's malleable jobs,
+// counting the shrink messages the policy sent.
+func (m *Manager) shrinkSite(site *koala.Site, need int) int {
+	jobs := m.sched.RunningMalleableJobs(site.Name())
+	if len(jobs) == 0 || need <= 0 {
+		return 0
+	}
+	_, before := totalMsgs(jobs)
+	released := m.cfg.Policy.Shrink(jobs, need)
+	_, after := totalMsgs(jobs)
+	if sent := int(after - before); sent > 0 {
+		m.shrinkMsgs.Inc(m.engine.Now(), sent)
+	}
+	if released == 0 {
+		m.declined++
+	}
+	return released
+}
+
+// shrinkable returns how many processors a site's malleable jobs could still
+// give back (planned minus minimum, summed).
+func (m *Manager) shrinkable(site *koala.Site) int {
+	total := 0
+	for _, j := range m.sched.RunningMalleableJobs(site.Name()) {
+		if slack := j.PlannedProcs() - j.MinProcs(); slack > 0 {
+			total += slack
+		}
+	}
+	return total
+}

@@ -1,0 +1,221 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/app"
+	"repro/internal/cluster"
+	"repro/internal/gram"
+	"repro/internal/koala"
+	"repro/internal/runner"
+)
+
+func managedSystem(nodes int, mgr ManagerConfig) *System {
+	return NewSystem(SystemConfig{
+		Grid: cluster.NewMulticluster(cluster.New("A", nodes)),
+		Gram: gram.Config{SubmitLatency: 1, ReleaseLatency: 0.5},
+		Scheduler: koala.Config{
+			Policy:        koala.WorstFit{},
+			PollInterval:  5,
+			MRunnerConfig: runner.MRunnerConfig{Costs: app.ReconfigCosts{}, AcquireTimeout: 60},
+		},
+		Manager: mgr,
+	})
+}
+
+func TestPRAGrowsRunningJobOnPoll(t *testing.T) {
+	sys := managedSystem(64, ManagerConfig{Policy: FPSMA{}, Approach: PRA{}})
+	j, err := sys.SubmitMalleable("g", app.GadgetProfile(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Engine.RunUntil(30)
+	if j.PlannedProcs() != 46 {
+		t.Fatalf("planned = %d, want 46 (grown to max)", j.PlannedProcs())
+	}
+	if sys.Manager.GrowOps().Total() == 0 {
+		t.Fatal("no grow operations recorded")
+	}
+	sys.Scheduler.Stop()
+}
+
+func TestPRANeverShrinks(t *testing.T) {
+	sys := managedSystem(8, ManagerConfig{Policy: FPSMA{}, Approach: PRA{}})
+	long, _ := sys.SubmitMalleable("long", app.GadgetProfile(), 2)
+	sys.Engine.RunUntil(30) // long grows to 8 (cluster size)
+	if long.PlannedProcs() != 8 {
+		t.Fatalf("planned = %d, want 8", long.PlannedProcs())
+	}
+	// A waiting job cannot trigger shrinks under PRA.
+	blocked, _ := sys.SubmitMalleable("blocked", app.GadgetProfile(), 2)
+	sys.Engine.RunUntil(120)
+	if blocked.State() != koala.Waiting {
+		t.Fatalf("blocked state = %v (PRA must not shrink for it)", blocked.State())
+	}
+	if sys.Manager.ShrinkOps().Total() != 0 {
+		t.Fatal("PRA recorded shrink operations")
+	}
+	sys.Scheduler.Stop()
+}
+
+func TestPRAPlacesWaitingJobsWithLeftovers(t *testing.T) {
+	// Jobs at their max leave room: waiting jobs then get placed.
+	sys := managedSystem(64, ManagerConfig{Policy: FPSMA{}, Approach: PRA{}})
+	a, _ := sys.SubmitMalleable("a", app.GadgetProfile(), 2) // max 46
+	sys.Engine.RunUntil(30)
+	b, _ := sys.SubmitMalleable("b", app.GadgetProfile(), 2)
+	sys.Engine.RunUntil(60)
+	if a.PlannedProcs() != 46 {
+		t.Fatalf("a planned = %d", a.PlannedProcs())
+	}
+	if b.State() != koala.Running {
+		t.Fatalf("b state = %v (leftover processors should place it)", b.State())
+	}
+	sys.Scheduler.Stop()
+}
+
+func TestPWAShrinksForWaitingJob(t *testing.T) {
+	sys := managedSystem(48, ManagerConfig{Policy: FPSMA{}, Approach: PWA{}})
+	long, _ := sys.SubmitMalleable("long", app.GadgetProfile(), 2)
+	sys.Engine.RunUntil(30) // long grows to 46 under PWA (queue empty)
+	if long.PlannedProcs() != 46 {
+		t.Fatalf("long planned = %d, want 46", long.PlannedProcs())
+	}
+	// New job arrives; cluster has 2 idle; needs 2 → fits. Fill the idle
+	// first with a rigid job so the queue actually blocks.
+	sys.SubmitRigid("filler", app.GadgetModel(), 2)
+	sys.Engine.RunUntil(40)
+	waiting, _ := sys.SubmitMalleable("waiting", app.GadgetProfile(), 2)
+	sys.Engine.RunUntil(120)
+	if waiting.State() != koala.Running {
+		t.Fatalf("waiting state = %v (PWA should shrink to place it)", waiting.State())
+	}
+	if sys.Manager.ShrinkOps().Total() == 0 {
+		t.Fatal("no shrink operations recorded")
+	}
+	if long.PlannedProcs() >= 46 {
+		t.Fatalf("long planned = %d, should have shrunk", long.PlannedProcs())
+	}
+	sys.Scheduler.Stop()
+}
+
+func TestPWAGrowsWhenShrinkImpossible(t *testing.T) {
+	// Big rigid job that cannot fit even with all malleables at minimum:
+	// PWA must grow the running jobs instead.
+	sys := managedSystem(16, ManagerConfig{Policy: FPSMA{}, Approach: PWA{}})
+	m, _ := sys.SubmitMalleable("m", app.GadgetProfile(), 2)
+	sys.Engine.RunUntil(10)
+	big, _ := sys.SubmitRigid("big", app.GadgetModel(), 16) // needs whole cluster
+	sys.Engine.RunUntil(60)
+	if big.State() != koala.Waiting {
+		t.Fatalf("big state = %v", big.State())
+	}
+	if m.PlannedProcs() <= 2 {
+		t.Fatalf("m planned = %d; PWA should grow it when shrinking cannot help", m.PlannedProcs())
+	}
+	sys.Scheduler.Stop()
+}
+
+func TestGrowthReserveKeepsNodesForLocalUsers(t *testing.T) {
+	sys := managedSystem(48, ManagerConfig{Policy: FPSMA{}, Approach: PRA{}, GrowthReserve: 10})
+	j, _ := sys.SubmitMalleable("g", app.GadgetProfile(), 2)
+	sys.Engine.RunUntil(60)
+	// 48 nodes, reserve 10 → at most 38 for the job.
+	if j.PlannedProcs() > 38 {
+		t.Fatalf("planned = %d exceeds reserve-constrained 38", j.PlannedProcs())
+	}
+	if j.PlannedProcs() != 38 {
+		t.Fatalf("planned = %d, want exactly 38", j.PlannedProcs())
+	}
+	sys.Scheduler.Stop()
+}
+
+func TestManagerSeesBackgroundLoadViaPolling(t *testing.T) {
+	sys := managedSystem(48, ManagerConfig{Policy: FPSMA{}, Approach: PRA{}})
+	clus := sys.Grid.Get("A")
+	// Local users grab 30 nodes before the job arrives.
+	clus.SeizeBackground(30)
+	j, _ := sys.SubmitMalleable("g", app.GadgetProfile(), 2)
+	sys.Engine.RunUntil(30)
+	if j.PlannedProcs() != 18 {
+		t.Fatalf("planned = %d, want 18 (48-30)", j.PlannedProcs())
+	}
+	// Local users leave; the next polls hand the nodes to the job.
+	clus.ReleaseBackground(30)
+	sys.Engine.RunUntil(60)
+	if j.PlannedProcs() != 46 {
+		t.Fatalf("planned = %d, want 46 after background release", j.PlannedProcs())
+	}
+	sys.Scheduler.Stop()
+}
+
+func TestManagerDoesNotOvercommitDuringAcquisition(t *testing.T) {
+	// Two polls in quick succession must not hand out the same idle
+	// processors twice while the first grant's stubs are still in flight.
+	sys := managedSystem(48, ManagerConfig{Policy: FPSMA{}, Approach: PRA{}})
+	j, _ := sys.SubmitMalleable("g", app.GadgetProfile(), 2)
+	sys.Engine.RunUntil(300)
+	if j.PlannedProcs() != 46 {
+		t.Fatalf("planned = %d", j.PlannedProcs())
+	}
+	// Planned never exceeded max and cluster never over-allocated:
+	if used := sys.Grid.Get("A").Used(); used > 48 || used < 0 {
+		t.Fatalf("used = %d", used)
+	}
+	sys.Scheduler.Stop()
+}
+
+func TestApproachByNameAndDefaults(t *testing.T) {
+	for _, name := range []string{"PRA", "PWA", "PWAV", "MANUAL", "pra", "pwa", "pwav", "manual"} {
+		if a, ok := ApproachByName(name); !ok || a == nil {
+			t.Errorf("ApproachByName(%q) failed", name)
+		}
+	}
+	if _, ok := ApproachByName("x"); ok {
+		t.Fatal("unknown approach should fail")
+	}
+	if (PRA{}).Name() != "PRA" || (PWA{}).Name() != "PWA" {
+		t.Fatal("approach names")
+	}
+	cfg := DefaultManagerConfig()
+	if cfg.Policy == nil || cfg.Approach == nil {
+		t.Fatal("defaults incomplete")
+	}
+}
+
+func TestNegativeReservePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative reserve did not panic")
+		}
+	}()
+	managedSystem(8, ManagerConfig{Policy: FPSMA{}, Approach: PRA{}, GrowthReserve: -1})
+}
+
+func TestSystemRunUntilDone(t *testing.T) {
+	sys := managedSystem(48, ManagerConfig{Policy: EGS{}, Approach: PRA{}})
+	sys.SubmitMalleable("a", app.FTProfile(), 2)
+	sys.SubmitMalleable("b", app.FTProfile(), 2)
+	if err := sys.RunUntilDone(10000); err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range sys.Scheduler.Jobs() {
+		if j.State() != koala.Finished {
+			t.Fatalf("job %s state %v", j.Spec.ID, j.State())
+		}
+	}
+}
+
+func TestSystemDefaultsToDAS3(t *testing.T) {
+	sys := NewSystem(SystemConfig{})
+	if sys.Grid.TotalNodes() != 272 {
+		t.Fatalf("default grid = %d nodes, want DAS-3's 272", sys.Grid.TotalNodes())
+	}
+	if sys.Manager == nil {
+		t.Fatal("manager should be installed by default")
+	}
+	if len(sys.Sites) != 5 {
+		t.Fatalf("sites = %d", len(sys.Sites))
+	}
+	sys.Scheduler.Stop()
+}

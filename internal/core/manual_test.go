@@ -1,0 +1,41 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/app"
+	"repro/internal/koala"
+)
+
+func TestManualApproachNeverGrowsSpontaneously(t *testing.T) {
+	sys := managedSystem(48, ManagerConfig{Policy: FPSMA{}, Approach: Manual{}})
+	j, _ := sys.SubmitMalleable("g", app.GadgetProfile(), 2)
+	sys.Engine.RunUntil(120)
+	if j.PlannedProcs() != 2 {
+		t.Fatalf("planned = %d, want 2 (manual approach must not grow)", j.PlannedProcs())
+	}
+	// Application-initiated growth still works.
+	if got := j.AppRequestGrow(6); got != 6 {
+		t.Fatalf("app grow obtained %d", got)
+	}
+	sys.Engine.RunUntil(200)
+	if j.CurrentProcs() != 8 {
+		t.Fatalf("procs = %d", j.CurrentProcs())
+	}
+	sys.Scheduler.Stop()
+}
+
+func TestManualApproachStillServesQueue(t *testing.T) {
+	sys := managedSystem(4, ManagerConfig{Policy: FPSMA{}, Approach: Manual{}})
+	a, _ := sys.SubmitRigid("a", app.FTModel(), 4)
+	b, _ := sys.SubmitRigid("b", app.FTModel(), 4)
+	sys.Engine.RunUntil(60)
+	if a.State() != koala.Running || b.State() != koala.Waiting {
+		t.Fatalf("a=%v b=%v", a.State(), b.State())
+	}
+	sys.Engine.RunUntil(400)
+	if b.State() != koala.Running && b.State() != koala.Finished {
+		t.Fatalf("b = %v; the queue must still be served", b.State())
+	}
+	sys.Scheduler.Stop()
+}

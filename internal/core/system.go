@@ -1,0 +1,107 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/app"
+	"repro/internal/cluster"
+	"repro/internal/gram"
+	"repro/internal/koala"
+	"repro/internal/sim"
+)
+
+// SystemConfig assembles a complete simulated multicluster with KOALA and
+// the malleability manager. Zero values fall back to the paper's setup:
+// the DAS-3 testbed, default GRAM latencies, Worst-Fit placement, FPSMA
+// under PRA.
+type SystemConfig struct {
+	Grid      *cluster.Multicluster
+	Gram      gram.Config
+	Scheduler koala.Config
+	Manager   ManagerConfig
+	// DisableManager runs plain KOALA without malleability support.
+	DisableManager bool
+}
+
+// System is the facade tying the whole reproduction together; examples and
+// the experiment harness build everything through it.
+type System struct {
+	Engine    *sim.Engine
+	Grid      *cluster.Multicluster
+	Sites     []*koala.Site
+	Scheduler *koala.Scheduler
+	Manager   *Manager // nil when DisableManager
+}
+
+// NewSystem builds a system from the config.
+func NewSystem(cfg SystemConfig) *System {
+	if cfg.Grid == nil {
+		cfg.Grid = cluster.DAS3()
+	}
+	if cfg.Gram == (gram.Config{}) {
+		cfg.Gram = gram.DefaultConfig()
+	}
+	if cfg.Scheduler.Policy == nil {
+		cfg.Scheduler = koala.DefaultConfig()
+	}
+	engine := sim.New()
+	sites := koala.BuildSites(engine, cfg.Grid, cfg.Gram)
+	sched := koala.NewScheduler(engine, sites, cfg.Scheduler)
+	sys := &System{Engine: engine, Grid: cfg.Grid, Sites: sites, Scheduler: sched}
+	if !cfg.DisableManager {
+		if cfg.Manager.Policy == nil && cfg.Manager.Approach == nil && cfg.Manager.GrowthReserve == 0 {
+			cfg.Manager = DefaultManagerConfig()
+		}
+		sys.Manager = NewManager(engine, sched, cfg.Manager)
+	}
+	return sys
+}
+
+// SubmitMalleable submits a single-component malleable job starting at
+// initial processors.
+func (s *System) SubmitMalleable(id string, profile *app.Profile, initial int) (*koala.Job, error) {
+	return s.Scheduler.Submit(koala.JobSpec{
+		ID:         id,
+		Components: []koala.ComponentSpec{{Profile: profile, Size: initial}},
+	})
+}
+
+// SubmitRigid submits a rigid job of the given size running the model.
+func (s *System) SubmitRigid(id string, model app.RuntimeModel, size int) (*koala.Job, error) {
+	return s.Scheduler.Submit(koala.JobSpec{
+		ID:         id,
+		Components: []koala.ComponentSpec{{Profile: app.RigidProfile(id+"-prof", model, size), Size: size}},
+	})
+}
+
+// Run drives the simulation until the horizon (seconds of virtual time).
+func (s *System) Run(horizon float64) { s.Engine.RunUntil(horizon) }
+
+// RunUntilDone drives the simulation until every submitted job reached a
+// terminal state, checking at the given period; it gives up at horizon and
+// returns an error listing the stuck jobs.
+func (s *System) RunUntilDone(horizon float64) error {
+	for s.Engine.Now() < horizon {
+		s.Engine.RunUntil(s.Engine.Now() + 60)
+		if s.allDone() {
+			s.Scheduler.Stop()
+			return nil
+		}
+	}
+	stuck := 0
+	for _, j := range s.Scheduler.Jobs() {
+		if st := j.State(); st != koala.Finished && st != koala.Rejected {
+			stuck++
+		}
+	}
+	return fmt.Errorf("core: %d jobs not terminal at horizon %g", stuck, horizon)
+}
+
+func (s *System) allDone() bool {
+	for _, j := range s.Scheduler.Jobs() {
+		if st := j.State(); st != koala.Finished && st != koala.Rejected {
+			return false
+		}
+	}
+	return len(s.Scheduler.Jobs()) > 0
+}

@@ -1,0 +1,117 @@
+package core
+
+import "repro/internal/koala"
+
+// This file implements the §VIII extensions on the manager side:
+// application-initiated grow requests and an incentive-style PWA variant
+// that asks for voluntary shrinks before falling back to mandatory ones.
+
+// AppGrowRequest implements runner.AppGrowHandler: an application asks for
+// more processors (§II-C, initiative of change). The manager grants at most
+// the site's current growth headroom — accommodating application-initiated
+// grows never preempts other jobs (they are voluntary for the scheduler,
+// §VIII).
+func (m *Manager) AppGrowRequest(site string, amount int) int {
+	if amount <= 0 {
+		return 0
+	}
+	var target *koala.Site
+	for _, s := range m.sched.Sites() {
+		if s.Name() == site {
+			target = s
+			break
+		}
+	}
+	if target == nil {
+		return 0
+	}
+	avail := m.availableForGrowth(m.sched.KIS().Refresh(), target)
+	if avail <= 0 {
+		return 0
+	}
+	grant := amount
+	if grant > avail {
+		grant = avail
+	}
+	m.appGrowMsgs++
+	// Keep the edge trigger consistent: the grant consumes headroom.
+	m.prevAvail[site] = avail - grant
+	return grant
+}
+
+// AppGrowRequests returns how many application-initiated grow requests the
+// manager granted (fully or partially).
+func (m *Manager) AppGrowRequests() uint64 { return m.appGrowMsgs }
+
+// voluntaryShrinkSite asks the site's malleable jobs *politely* for need
+// processors, latest-started first (the FPSMA shrink order), and returns
+// how many they agreed to release. Jobs decline freely (§II-D).
+func (m *Manager) voluntaryShrinkSite(site *koala.Site, need int) int {
+	jobs := m.sched.RunningMalleableJobs(site.Name())
+	total := 0
+	for i := len(jobs) - 1; i >= 0 && need > 0; i-- {
+		mr := jobs[i].MRunner()
+		if mr == nil {
+			continue
+		}
+		released := mr.RequestVoluntaryShrink(need)
+		need -= released
+		total += released
+	}
+	if total > 0 {
+		m.shrinkMsgs.Inc(m.engine.Now(), len(jobs))
+	}
+	return total
+}
+
+// PWAVoluntary is the incentive-aware variant of PWA suggested by §VIII
+// ("we plan to study how to affect malleability management policies in
+// order to incite applications to react to volunteer shrinks"): when the
+// queue head cannot be placed, the manager first *asks* running jobs to
+// shrink; only the shortfall that remains after the voluntary round is
+// reclaimed mandatorily.
+type PWAVoluntary struct{}
+
+// Name implements Approach.
+func (PWAVoluntary) Name() string { return "PWAV" }
+
+// OnPoll implements Approach (same schedule as PWA).
+func (PWAVoluntary) OnPoll(m *Manager, snap koala.Snapshot) {
+	PWA{}.OnPoll(m, snap)
+}
+
+// OnProcessorsAvailable implements Approach (same as PWA).
+func (PWAVoluntary) OnProcessorsAvailable(m *Manager) {
+	PWA{}.OnProcessorsAvailable(m)
+}
+
+// OnPlacementBlocked implements Approach: voluntary first, mandatory for
+// the remainder.
+func (PWAVoluntary) OnPlacementBlocked(m *Manager, j *koala.Job) bool {
+	need := j.Spec.TotalSize()
+	snap := m.sched.KIS().Last()
+	var best *koala.Site
+	bestShort := 0
+	for _, site := range m.sched.Sites() {
+		idle := snap.Idle(site.Name()) - m.sched.PendingClaims(site.Name()) - m.inflightGrowth(site.Name())
+		short := need - idle
+		if short <= 0 {
+			return false
+		}
+		if m.shrinkable(site) >= short {
+			if best == nil || short < bestShort {
+				best = site
+				bestShort = short
+			}
+		}
+	}
+	if best == nil {
+		m.growAll(snap)
+		return false
+	}
+	released := m.voluntaryShrinkSite(best, bestShort)
+	if released < bestShort {
+		m.shrinkSite(best, bestShort-released)
+	}
+	return true
+}

@@ -1,0 +1,283 @@
+// Package dynaco reproduces the DYNACO framework for dynamic adaptability
+// ([2], §IV-B): a control loop of four components — observe, decide, plan,
+// execute — specialised per application. In this reproduction DYNACO runs
+// inside the Malleable Runner on a per-application basis (§V-A): the
+// runner's frontend is reflected as a *monitor* that turns the scheduler's
+// grow/shrink messages into events; the *decide* component applies the
+// application's strategy (e.g. FT's power-of-two rule); the *plan* component
+// expands the decision into an action list; and the *execute* component —
+// AFPAC for SPMD applications [26] — schedules the actions consistently with
+// the running application, one adaptation at a time.
+package dynaco
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// EventKind classifies monitor events.
+type EventKind int
+
+const (
+	// GrowRequest is a scheduler offer of additional processors (§II-C).
+	GrowRequest EventKind = iota
+	// ShrinkRequest is a (mandatory) scheduler reclaim of processors.
+	ShrinkRequest
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case GrowRequest:
+		return "grow"
+	case ShrinkRequest:
+		return "shrink"
+	default:
+		return fmt.Sprintf("event(%d)", int(k))
+	}
+}
+
+// Event is one monitored environment change delivered to the framework.
+type Event struct {
+	Kind   EventKind
+	Amount int // processors offered (grow) or requested back (shrink)
+}
+
+// Strategy is the application-specific decision procedure that developers
+// provide when specialising DYNACO (§IV-B). Given the current size it
+// answers how many of the offered/requested processors the application
+// adopts.
+type Strategy interface {
+	// DecideGrow returns how many of the offered processors to accept.
+	DecideGrow(current, offer int) int
+	// DecideShrink returns how many processors to release for a request.
+	DecideShrink(current, request int) int
+}
+
+// Op is one kind of adaptation action.
+type Op int
+
+const (
+	// OpAcquire submits requests for new processors (GRAM stubs) and waits
+	// until all of them are held.
+	OpAcquire Op = iota
+	// OpRecruit turns held stubs into application processes (fast, §V-A).
+	OpRecruit
+	// OpRelease waits for a safe point and hands processors back.
+	OpRelease
+)
+
+// String implements fmt.Stringer.
+func (o Op) String() string {
+	switch o {
+	case OpAcquire:
+		return "acquire"
+	case OpRecruit:
+		return "recruit"
+	case OpRelease:
+		return "release"
+	default:
+		return fmt.Sprintf("op(%d)", int(o))
+	}
+}
+
+// Action is one step of an adaptation plan.
+type Action struct {
+	Op Op
+	N  int
+}
+
+// Plan is the ordered action list produced by the plan component.
+type Plan struct {
+	Actions []Action
+}
+
+// planGrow expands an accepted grow into the §V-A protocol: acquire all new
+// processors first (overlapping execution), only then recruit them.
+func planGrow(accepted int) Plan {
+	return Plan{Actions: []Action{{OpAcquire, accepted}, {OpRecruit, accepted}}}
+}
+
+// planShrink expands an accepted shrink: reach a safe point and release.
+func planShrink(accepted int) Plan {
+	return Plan{Actions: []Action{{OpRelease, accepted}}}
+}
+
+// Handler executes individual actions on behalf of the framework. The
+// Malleable Runner implements it against GRAM and the application process;
+// tests implement it directly. Each method calls done exactly once when the
+// action completes; Acquire reports how many processors were actually
+// obtained (the environment may deliver fewer than asked).
+type Handler interface {
+	Acquire(n int, done func(held int))
+	Recruit(n int, done func())
+	Release(n int, done func())
+}
+
+// Result reports a completed adaptation back to the monitor's frontend.
+type Result struct {
+	Event    Event
+	Accepted int // processors actually adopted/released (0 = declined)
+}
+
+// Framework is one per-application DYNACO instance. Adaptations are
+// serialised: while one executes, further events queue — the AFPAC
+// consistency guarantee that an SPMD application adapts at one safe point at
+// a time.
+type Framework struct {
+	engine   *sim.Engine
+	strategy Strategy
+	handler  Handler
+	size     func() int // current processor count of the application
+
+	onResult func(Result)
+
+	busy    bool
+	pending []Event
+
+	adaptations uint64
+}
+
+// New assembles a framework. size reports the application's current
+// processor count; onResult (may be nil) receives an acknowledgment for
+// every processed event.
+func New(engine *sim.Engine, strategy Strategy, handler Handler, size func() int, onResult func(Result)) *Framework {
+	if strategy == nil || handler == nil || size == nil {
+		panic("dynaco: nil component")
+	}
+	return &Framework{
+		engine:   engine,
+		strategy: strategy,
+		handler:  handler,
+		size:     size,
+		onResult: onResult,
+	}
+}
+
+// Adaptations returns how many adaptations have completed (grow or shrink,
+// including declined ones).
+func (f *Framework) Adaptations() uint64 { return f.adaptations }
+
+// Busy reports whether an adaptation is currently executing.
+func (f *Framework) Busy() bool { return f.busy }
+
+// PendingEvents returns the number of queued, unprocessed events.
+func (f *Framework) PendingEvents() int { return len(f.pending) }
+
+// Notify is the observe component's entry point: the monitor delivers an
+// event, and the control loop runs decide → plan → execute.
+func (f *Framework) Notify(ev Event) {
+	f.pending = append(f.pending, ev)
+	f.drain()
+}
+
+func (f *Framework) drain() {
+	if f.busy || len(f.pending) == 0 {
+		return
+	}
+	ev := f.pending[0]
+	f.pending = f.pending[1:]
+	f.process(ev)
+}
+
+func (f *Framework) process(ev Event) {
+	current := f.size()
+	var accepted int
+	switch ev.Kind {
+	case GrowRequest:
+		accepted = f.strategy.DecideGrow(current, ev.Amount)
+	case ShrinkRequest:
+		accepted = f.strategy.DecideShrink(current, ev.Amount)
+	default:
+		panic(fmt.Sprintf("dynaco: unknown event kind %v", ev.Kind))
+	}
+	if accepted <= 0 {
+		f.finish(ev, 0)
+		return
+	}
+	var plan Plan
+	if ev.Kind == GrowRequest {
+		plan = planGrow(accepted)
+	} else {
+		plan = planShrink(accepted)
+	}
+	f.busy = true
+	f.execute(ev, plan, 0, accepted)
+}
+
+// execute runs plan actions sequentially; each action's completion schedules
+// the next through the handler's callback.
+func (f *Framework) execute(ev Event, plan Plan, idx, accepted int) {
+	if idx >= len(plan.Actions) {
+		f.busy = false
+		f.finish(ev, accepted)
+		f.drain()
+		return
+	}
+	act := plan.Actions[idx]
+	next := func() { f.execute(ev, plan, idx+1, accepted) }
+	switch act.Op {
+	case OpAcquire:
+		f.handler.Acquire(act.N, func(held int) {
+			if held < act.N {
+				// The environment delivered fewer processors than planned:
+				// adapt the rest of the plan to what is actually held.
+				accepted = held
+				if held == 0 {
+					f.busy = false
+					f.finish(ev, 0)
+					f.drain()
+					return
+				}
+				plan.Actions[idx+1].N = held
+			}
+			next()
+		})
+	case OpRecruit:
+		f.handler.Recruit(act.N, func() { next() })
+	case OpRelease:
+		f.handler.Release(act.N, func() { next() })
+	default:
+		panic(fmt.Sprintf("dynaco: unknown op %v", act.Op))
+	}
+}
+
+func (f *Framework) finish(ev Event, accepted int) {
+	f.adaptations++
+	if f.onResult != nil {
+		f.onResult(Result{Event: ev, Accepted: accepted})
+	}
+}
+
+// PreDecided is the strategy for frontends that already ran the decide step
+// during the scheduler protocol exchange (the runner answers the scheduler's
+// grow/shrink message with the accepted amount, then hands the pre-decided
+// event to the framework for planning and execution).
+type PreDecided struct{}
+
+// DecideGrow implements Strategy by accepting the full (pre-decided) offer.
+func (PreDecided) DecideGrow(current, offer int) int { return offer }
+
+// DecideShrink implements Strategy by releasing the full (pre-decided)
+// request.
+func (PreDecided) DecideShrink(current, request int) int { return request }
+
+// ProfileStrategy adapts any object exposing the AcceptGrow/AcceptShrink
+// protocol (such as *app.Profile) into a Strategy.
+type ProfileStrategy struct {
+	Acceptor interface {
+		AcceptGrow(current, offer int) int
+		AcceptShrink(current, request int) int
+	}
+}
+
+// DecideGrow implements Strategy.
+func (s ProfileStrategy) DecideGrow(current, offer int) int {
+	return s.Acceptor.AcceptGrow(current, offer)
+}
+
+// DecideShrink implements Strategy.
+func (s ProfileStrategy) DecideShrink(current, request int) int {
+	return s.Acceptor.AcceptShrink(current, request)
+}

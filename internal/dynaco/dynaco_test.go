@@ -1,0 +1,190 @@
+package dynaco
+
+import (
+	"testing"
+
+	"repro/internal/app"
+	"repro/internal/sim"
+)
+
+// fakeHandler records actions and completes them after fixed delays.
+type fakeHandler struct {
+	engine       *sim.Engine
+	acquireDelay float64
+	actions      []Action
+	heldOverride func(n int) int // optional: deliver fewer than asked
+}
+
+func (h *fakeHandler) Acquire(n int, done func(int)) {
+	h.actions = append(h.actions, Action{OpAcquire, n})
+	held := n
+	if h.heldOverride != nil {
+		held = h.heldOverride(n)
+	}
+	h.engine.After(h.acquireDelay, func() { done(held) })
+}
+
+func (h *fakeHandler) Recruit(n int, done func()) {
+	h.actions = append(h.actions, Action{OpRecruit, n})
+	h.engine.After(1, done)
+}
+
+func (h *fakeHandler) Release(n int, done func()) {
+	h.actions = append(h.actions, Action{OpRelease, n})
+	h.engine.After(2, done)
+}
+
+type fixedStrategy struct{ grow, shrink int }
+
+func (s fixedStrategy) DecideGrow(current, offer int) int     { return min(s.grow, offer) }
+func (s fixedStrategy) DecideShrink(current, request int) int { return min(s.shrink, request) }
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func setup(strategy Strategy) (*sim.Engine, *fakeHandler, *Framework, *[]Result) {
+	e := sim.New()
+	h := &fakeHandler{engine: e, acquireDelay: 5}
+	size := 4
+	var results []Result
+	f := New(e, strategy, h, func() int { return size }, func(r Result) { results = append(results, r) })
+	return e, h, f, &results
+}
+
+func TestGrowRunsAcquireThenRecruit(t *testing.T) {
+	e, h, f, results := setup(fixedStrategy{grow: 8, shrink: 8})
+	f.Notify(Event{Kind: GrowRequest, Amount: 3})
+	e.Run()
+	if len(h.actions) != 2 || h.actions[0].Op != OpAcquire || h.actions[1].Op != OpRecruit {
+		t.Fatalf("actions = %v", h.actions)
+	}
+	if h.actions[0].N != 3 || h.actions[1].N != 3 {
+		t.Fatalf("action sizes = %v", h.actions)
+	}
+	if len(*results) != 1 || (*results)[0].Accepted != 3 {
+		t.Fatalf("results = %v", *results)
+	}
+	if f.Adaptations() != 1 {
+		t.Fatalf("adaptations = %d", f.Adaptations())
+	}
+}
+
+func TestShrinkRunsRelease(t *testing.T) {
+	e, h, _, results := setup(fixedStrategy{grow: 8, shrink: 8})
+	fw := New(e, fixedStrategy{shrink: 8}, h, func() int { return 10 }, func(r Result) { *results = append(*results, r) })
+	fw.Notify(Event{Kind: ShrinkRequest, Amount: 4})
+	e.Run()
+	if len(h.actions) != 1 || h.actions[0].Op != OpRelease || h.actions[0].N != 4 {
+		t.Fatalf("actions = %v", h.actions)
+	}
+	if len(*results) != 1 || (*results)[0].Accepted != 4 {
+		t.Fatalf("results = %v", *results)
+	}
+}
+
+func TestDeclinedEventReportsZero(t *testing.T) {
+	e, h, f, results := setup(fixedStrategy{grow: 0, shrink: 0})
+	f.Notify(Event{Kind: GrowRequest, Amount: 5})
+	e.Run()
+	if len(h.actions) != 0 {
+		t.Fatalf("declined grow ran actions: %v", h.actions)
+	}
+	if len(*results) != 1 || (*results)[0].Accepted != 0 {
+		t.Fatalf("results = %v", *results)
+	}
+}
+
+func TestAdaptationsSerialize(t *testing.T) {
+	e, h, f, results := setup(fixedStrategy{grow: 8, shrink: 8})
+	f.Notify(Event{Kind: GrowRequest, Amount: 2})
+	f.Notify(Event{Kind: GrowRequest, Amount: 1})
+	if !f.Busy() {
+		t.Fatal("framework should be busy")
+	}
+	if f.PendingEvents() != 1 {
+		t.Fatalf("pending = %d", f.PendingEvents())
+	}
+	e.Run()
+	// Both processed, in order, never interleaved: acquire,recruit,acquire,recruit.
+	wantOps := []Op{OpAcquire, OpRecruit, OpAcquire, OpRecruit}
+	if len(h.actions) != 4 {
+		t.Fatalf("actions = %v", h.actions)
+	}
+	for i, a := range h.actions {
+		if a.Op != wantOps[i] {
+			t.Fatalf("actions = %v", h.actions)
+		}
+	}
+	if len(*results) != 2 {
+		t.Fatalf("results = %v", *results)
+	}
+	if f.Busy() || f.PendingEvents() != 0 {
+		t.Fatal("framework should be idle at the end")
+	}
+}
+
+func TestPartialAcquisitionShrinksPlan(t *testing.T) {
+	e, h, _, _ := setup(fixedStrategy{})
+	h.heldOverride = func(n int) int { return 1 } // environment yields just 1
+	var results []Result
+	fw := New(e, fixedStrategy{grow: 8}, h, func() int { return 2 }, func(r Result) { results = append(results, r) })
+	fw.Notify(Event{Kind: GrowRequest, Amount: 4})
+	e.Run()
+	if len(h.actions) != 2 || h.actions[1].Op != OpRecruit || h.actions[1].N != 1 {
+		t.Fatalf("actions = %v", h.actions)
+	}
+	if len(results) != 1 || results[0].Accepted != 1 {
+		t.Fatalf("results = %v", results)
+	}
+}
+
+func TestZeroAcquisitionAbortsPlan(t *testing.T) {
+	e, h, _, _ := setup(fixedStrategy{})
+	h.heldOverride = func(n int) int { return 0 }
+	var results []Result
+	fw := New(e, fixedStrategy{grow: 8}, h, func() int { return 2 }, func(r Result) { results = append(results, r) })
+	fw.Notify(Event{Kind: GrowRequest, Amount: 4})
+	e.Run()
+	if len(h.actions) != 1 {
+		t.Fatalf("actions = %v (recruit should not run)", h.actions)
+	}
+	if len(results) != 1 || results[0].Accepted != 0 {
+		t.Fatalf("results = %v", results)
+	}
+	if fw.Busy() {
+		t.Fatal("framework stuck busy")
+	}
+}
+
+func TestProfileStrategyAdaptsFT(t *testing.T) {
+	s := ProfileStrategy{Acceptor: app.FTProfile()}
+	if got := s.DecideGrow(2, 5); got != 2 {
+		t.Fatalf("DecideGrow = %d, want 2 (power-of-two rule)", got)
+	}
+	if got := s.DecideShrink(16, 3); got != 8 {
+		t.Fatalf("DecideShrink = %d, want 8", got)
+	}
+}
+
+func TestNilComponentPanics(t *testing.T) {
+	e := sim.New()
+	defer func() {
+		if recover() == nil {
+			t.Error("nil component did not panic")
+		}
+	}()
+	New(e, nil, nil, nil, nil)
+}
+
+func TestStringers(t *testing.T) {
+	if GrowRequest.String() != "grow" || ShrinkRequest.String() != "shrink" || EventKind(9).String() == "" {
+		t.Fatal("EventKind strings")
+	}
+	if OpAcquire.String() != "acquire" || OpRecruit.String() != "recruit" || OpRelease.String() != "release" || Op(9).String() == "" {
+		t.Fatal("Op strings")
+	}
+}

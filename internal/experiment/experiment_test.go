@@ -1,0 +1,232 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/workload"
+)
+
+// smallGrid keeps integration tests fast: two clusters, 48+32 nodes.
+func smallGrid() *cluster.Multicluster {
+	return cluster.NewMulticluster(cluster.New("A", 48), cluster.New("B", 32))
+}
+
+// smallWorkload is a scaled-down Wm.
+func smallWorkload(name string, n int, inter float64, mall float64) func(uint64) workload.Spec {
+	return func(seed uint64) workload.Spec {
+		return workload.Spec{
+			Name: name, Jobs: n, InterArrival: inter,
+			MalleableFraction: mall, InitialSize: 2, RigidSize: 2, Seed: seed,
+		}
+	}
+}
+
+func TestRunOnceCompletesAllJobs(t *testing.T) {
+	cfg := Config{
+		Workload: smallWorkload("small", 20, 60, 1)(1),
+		Policy:   "FPSMA",
+		Approach: "PRA",
+		Grid:     smallGrid,
+		Runs:     1,
+	}
+	res, err := RunOnce(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != 20 {
+		t.Fatalf("records = %d, want 20", len(res.Records))
+	}
+	if res.Rejected != 0 {
+		t.Fatalf("rejected = %d", res.Rejected)
+	}
+	if res.Makespan <= 0 {
+		t.Fatal("makespan not recorded")
+	}
+	if res.GrowOps.Len() == 0 {
+		t.Fatal("no grow operations under PRA with idle capacity")
+	}
+}
+
+func TestRunPoolsRuns(t *testing.T) {
+	cfg := Config{
+		Workload: smallWorkload("small", 10, 60, 1)(1),
+		Policy:   "EGS",
+		Approach: "PRA",
+		Grid:     smallGrid,
+		Runs:     2,
+		Seed:     5,
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Runs) != 2 {
+		t.Fatalf("runs = %d", len(res.Runs))
+	}
+	if len(res.Pooled) != 20 {
+		t.Fatalf("pooled = %d", len(res.Pooled))
+	}
+	if res.Runs[0].Seed == res.Runs[1].Seed {
+		t.Fatal("runs share a seed")
+	}
+	if res.MeanExecution() <= 0 || res.MeanResponse() <= 0 {
+		t.Fatal("aggregate stats empty")
+	}
+}
+
+func TestRunOnceDeterministic(t *testing.T) {
+	cfg := Config{
+		Workload: smallWorkload("small", 10, 60, 0.5)(1),
+		Policy:   "FPSMA",
+		Approach: "PWA",
+		Grid:     smallGrid,
+	}
+	a, err := RunOnce(cfg, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunOnce(cfg, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Records) != len(b.Records) {
+		t.Fatalf("record counts differ: %d vs %d", len(a.Records), len(b.Records))
+	}
+	for i := range a.Records {
+		if a.Records[i] != b.Records[i] {
+			t.Fatalf("record %d differs:\n%+v\n%+v", i, a.Records[i], b.Records[i])
+		}
+	}
+}
+
+func TestUnknownNamesFail(t *testing.T) {
+	base := Config{Workload: smallWorkload("w", 2, 10, 1)(1), Grid: smallGrid}
+	bad := []Config{
+		{Workload: base.Workload, Grid: smallGrid, Policy: "NOPE"},
+		{Workload: base.Workload, Grid: smallGrid, Approach: "NOPE"},
+		{Workload: base.Workload, Grid: smallGrid, Placement: "NOPE"},
+	}
+	for i, cfg := range bad {
+		if _, err := RunOnce(cfg, 1); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestFig6Shape(t *testing.T) {
+	fig := Fig6()
+	if len(fig.Series) != 2 {
+		t.Fatalf("series = %d", len(fig.Series))
+	}
+	ft, gadget := fig.Series[0], fig.Series[1]
+	// Anchors from the paper: FT 120 s at 2 procs, GADGET 600 s at 2 procs.
+	if ft.Points[1].Percent != 120 || gadget.Points[1].Percent != 600 {
+		t.Fatalf("anchors: FT(2)=%g GADGET(2)=%g", ft.Points[1].Percent, gadget.Points[1].Percent)
+	}
+	if !strings.Contains(fig.Render(), "Gadget2") {
+		t.Fatal("render missing series")
+	}
+	if !strings.Contains(fig.CSV(), "FT") {
+		t.Fatal("csv missing header")
+	}
+}
+
+func TestTable1(t *testing.T) {
+	tbl := Table1()
+	for _, want := range []string{"Delft", "68", "272", "Myri-10G"} {
+		if !strings.Contains(tbl, want) {
+			t.Fatalf("Table I missing %q:\n%s", want, tbl)
+		}
+	}
+}
+
+func TestRunSetProducesAllFigures(t *testing.T) {
+	combos := []Combo{
+		{Policy: "FPSMA", Workload: smallWorkload("Wm", 12, 40, 1), Label: "FPSMA/Wm"},
+		{Policy: "EGS", Workload: smallWorkload("Wm", 12, 40, 1), Label: "EGS/Wm"},
+	}
+	set, err := RunSet("PRA", combos, Config{Grid: smallGrid, Runs: 1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set.Labels) != 2 {
+		t.Fatalf("labels = %v", set.Labels)
+	}
+	figs := []Figure{
+		set.FigSizesAvg("7a"),
+		set.FigSizesMax("7b"),
+		set.FigExecTimes("7c"),
+		set.FigResponseTimes("7d"),
+		set.FigUtilization("7e", 0, 1000, 100),
+		set.FigOps("7f", 0, 1000, 100),
+	}
+	for _, f := range figs {
+		if len(f.Series) != 2 {
+			t.Fatalf("figure %s has %d series", f.ID, len(f.Series))
+		}
+		for _, s := range f.Series {
+			if len(s.Points) == 0 {
+				t.Fatalf("figure %s series %s empty", f.ID, s.Label)
+			}
+		}
+		if f.Render() == "" || f.CSV() == "" {
+			t.Fatalf("figure %s does not render", f.ID)
+		}
+	}
+	if !strings.Contains(set.SummaryTable(), "FPSMA/Wm") {
+		t.Fatal("summary table missing combo")
+	}
+}
+
+func TestCDFFiguresEndAtHundredPercent(t *testing.T) {
+	combos := []Combo{{Policy: "FPSMA", Workload: smallWorkload("Wm", 8, 40, 1), Label: "FPSMA/Wm"}}
+	set, err := RunSet("PRA", combos, Config{Grid: smallGrid, Runs: 1, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig := set.FigExecTimes("7c")
+	pts := fig.Series[0].Points
+	if got := pts[len(pts)-1].Percent; got != 100 {
+		t.Fatalf("CDF tail = %g, want 100", got)
+	}
+}
+
+func TestDisableMalleabilityBaseline(t *testing.T) {
+	cfg := Config{
+		Workload:            smallWorkload("rigid-ish", 10, 60, 1)(1),
+		Grid:                smallGrid,
+		DisableMalleability: true,
+	}
+	res, err := RunOnce(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalOps != 0 {
+		t.Fatalf("plain KOALA performed %g malleability ops", res.TotalOps)
+	}
+	// Jobs stay at their initial size.
+	for _, r := range res.Records {
+		if r.MaxProcs != 2 {
+			t.Fatalf("job %s reached %d procs without a manager", r.ID, r.MaxProcs)
+		}
+	}
+}
+
+func TestBackgroundLoadIntegration(t *testing.T) {
+	cfg := Config{
+		Workload:   smallWorkload("bg", 10, 60, 1)(1),
+		Grid:       smallGrid,
+		Policy:     "EGS",
+		Approach:   "PRA",
+		Background: &workload.BackgroundSpec{MeanInterArrival: 100, MeanDuration: 200, MaxNodes: 10},
+	}
+	res, err := RunOnce(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != 10 {
+		t.Fatalf("records = %d", len(res.Records))
+	}
+}

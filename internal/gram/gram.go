@@ -1,0 +1,239 @@
+// Package gram models the GLOBUS GRAM job-submission service that KOALA's
+// runners use to acquire processors (§IV-A, §V-A). GRAM is not
+// malleability-aware, so the Malleable Runner manages a malleable
+// application as a *collection of GRAM jobs of size 1*: growth submits new
+// size-1 jobs (each paying the full submission latency — security
+// enforcement, queue management), and shrinking releases some of them.
+//
+// Submissions launch an empty *stub* rather than the application program;
+// the stub is recruited into an application process later, which is much
+// faster than a submission (§V-A). The latency model below captures exactly
+// that asymmetry.
+package gram
+
+import (
+	"fmt"
+
+	"repro/internal/lrm"
+	"repro/internal/sim"
+)
+
+// Config holds the latency model of a GRAM service.
+type Config struct {
+	// SubmitLatency is the delay between Submit and the moment the stub
+	// reaches the local resource manager (security, staging, queue
+	// management). The stub becomes Active once the LRM starts it.
+	SubmitLatency float64
+	// ReleaseLatency is the delay between Release and the nodes actually
+	// returning to the idle pool.
+	ReleaseLatency float64
+	// SubmitConcurrency bounds how many submissions the gatekeeper
+	// processes at once; further submissions queue. This is the "poor
+	// reactivity" of managing a malleable job as a collection of size-1
+	// GRAM jobs that §V-A points out: growing by k processors costs about
+	// k/SubmitConcurrency·SubmitLatency. Zero means unlimited.
+	SubmitConcurrency int
+}
+
+// DefaultConfig reflects the order of magnitude observed on DAS-3 with
+// GLOBUS pre-WS GRAM: a few seconds per submission, sub-second releases,
+// and a gatekeeper that serves a handful of submissions concurrently. The
+// per-stub overhead is what makes managing a malleable job as a collection
+// of size-1 GRAM jobs poorly reactive (§V-A) without starving the rest of
+// the site for minutes.
+func DefaultConfig() Config {
+	return Config{SubmitLatency: 5, ReleaseLatency: 0.5, SubmitConcurrency: 8}
+}
+
+// State is the lifecycle state of a GRAM job.
+type State int
+
+const (
+	// Submitted means the job is in flight towards the LRM.
+	Submitted State = iota
+	// Pending means the job reached the LRM and waits for nodes.
+	Pending
+	// Active means the stub runs and its nodes are held.
+	Active
+	// Released means the job has terminated and freed its nodes.
+	Released
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case Submitted:
+		return "submitted"
+	case Pending:
+		return "pending"
+	case Active:
+		return "active"
+	case Released:
+		return "released"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// Job is one GRAM job (size-1 for the Malleable Runner's stubs, arbitrary
+// size for rigid jobs).
+type Job struct {
+	ID    string
+	Nodes int
+
+	state    State
+	lrmJob   *lrm.Job
+	svc      *Service
+	onActive func(*Job)
+	released bool // release requested (possibly while still in flight)
+}
+
+// State returns the job's lifecycle state.
+func (j *Job) State() State { return j.state }
+
+// Service is the GRAM endpoint of one execution site.
+type Service struct {
+	engine *sim.Engine
+	mgr    *lrm.Manager
+	cfg    Config
+	seq    int
+
+	inFlight  int
+	backlog   []*Job
+	submitted uint64
+	activated uint64
+	releases  uint64
+}
+
+// New creates a GRAM service submitting to the given LRM.
+func New(engine *sim.Engine, mgr *lrm.Manager, cfg Config) *Service {
+	if cfg.SubmitLatency < 0 || cfg.ReleaseLatency < 0 {
+		panic("gram: negative latency")
+	}
+	if cfg.SubmitConcurrency < 0 {
+		panic("gram: negative submit concurrency")
+	}
+	return &Service{engine: engine, mgr: mgr, cfg: cfg}
+}
+
+// SiteName returns the name of the execution site (the LRM's cluster).
+func (s *Service) SiteName() string { return s.mgr.Cluster().Name() }
+
+// Stats returns cumulative (submitted, activated, released) job counts.
+func (s *Service) Stats() (submitted, activated, released uint64) {
+	return s.submitted, s.activated, s.releases
+}
+
+// Submit launches a GRAM job for nodes nodes. onActive fires once the stub
+// holds its nodes. The returned handle can be released at any point of its
+// life (including before it becomes active).
+func (s *Service) Submit(nodes int, onActive func(*Job)) (*Job, error) {
+	if nodes <= 0 {
+		return nil, fmt.Errorf("gram %s: submit of %d nodes", s.SiteName(), nodes)
+	}
+	if nodes > s.mgr.Cluster().Nodes() {
+		return nil, fmt.Errorf("gram %s: %d nodes exceed cluster size %d",
+			s.SiteName(), nodes, s.mgr.Cluster().Nodes())
+	}
+	j := &Job{
+		ID:       fmt.Sprintf("gram-%s-%d", s.SiteName(), s.seq),
+		Nodes:    nodes,
+		state:    Submitted,
+		svc:      s,
+		onActive: onActive,
+	}
+	s.seq++
+	s.submitted++
+	if s.cfg.SubmitConcurrency > 0 && s.inFlight >= s.cfg.SubmitConcurrency {
+		s.backlog = append(s.backlog, j)
+		return j, nil
+	}
+	s.beginSubmission(j)
+	return j, nil
+}
+
+// beginSubmission occupies a gatekeeper slot for SubmitLatency.
+func (s *Service) beginSubmission(j *Job) {
+	s.inFlight++
+	s.engine.After(s.cfg.SubmitLatency, func() {
+		s.inFlight--
+		s.arriveAtLRM(j)
+		s.drainBacklog()
+	})
+}
+
+func (s *Service) drainBacklog() {
+	for len(s.backlog) > 0 && (s.cfg.SubmitConcurrency == 0 || s.inFlight < s.cfg.SubmitConcurrency) {
+		next := s.backlog[0]
+		s.backlog = s.backlog[1:]
+		if next.released {
+			next.state = Released
+			continue
+		}
+		s.beginSubmission(next)
+	}
+}
+
+// Backlog returns the number of submissions queued at the gatekeeper.
+func (s *Service) Backlog() int { return len(s.backlog) }
+
+func (s *Service) arriveAtLRM(j *Job) {
+	if j.released { // released while still in flight: never reaches the LRM
+		j.state = Released
+		return
+	}
+	lj, err := s.mgr.Submit(j.ID, j.Nodes, func(*lrm.Job) { s.activate(j) })
+	if err != nil {
+		// Validated at Submit; reaching this means the model is inconsistent.
+		panic(fmt.Sprintf("gram %s: LRM rejected validated job: %v", s.SiteName(), err))
+	}
+	j.state = Pending
+	j.lrmJob = lj
+}
+
+func (s *Service) activate(j *Job) {
+	if j.released {
+		// Released while queued at the LRM: free the nodes right away.
+		s.mgr.Finish(j.lrmJob)
+		j.state = Released
+		return
+	}
+	j.state = Active
+	s.activated++
+	if j.onActive != nil {
+		j.onActive(j)
+	}
+}
+
+// Release terminates a GRAM job at whatever stage it is. For an active job
+// the nodes return to the idle pool after ReleaseLatency; for an in-flight
+// or pending job the release takes effect when the job would have started.
+func (s *Service) Release(j *Job) error {
+	if j.svc != s {
+		return fmt.Errorf("gram %s: job %q belongs to another service", s.SiteName(), j.ID)
+	}
+	if j.released || j.state == Released {
+		return fmt.Errorf("gram %s: double release of %q", s.SiteName(), j.ID)
+	}
+	j.released = true
+	s.releases++
+	switch j.state {
+	case Active:
+		lj := j.lrmJob
+		s.engine.After(s.cfg.ReleaseLatency, func() {
+			if lj.State() == lrm.Running {
+				s.mgr.Finish(lj)
+			}
+		})
+		j.state = Released
+	case Pending:
+		if err := s.mgr.Cancel(j.lrmJob); err == nil {
+			j.state = Released
+		}
+		// If Cancel failed the job is racing into Running; activate() will
+		// observe j.released and finish it.
+	case Submitted:
+		// arriveAtLRM will observe j.released and drop the job.
+	}
+	return nil
+}

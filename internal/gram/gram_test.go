@@ -1,0 +1,179 @@
+package gram
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/lrm"
+	"repro/internal/sim"
+)
+
+func setup(nodes int, cfg Config) (*sim.Engine, *cluster.Cluster, *Service) {
+	e := sim.New()
+	c := cluster.New("site", nodes)
+	return e, c, New(e, lrm.New(e, c), cfg)
+}
+
+func TestSubmitLatency(t *testing.T) {
+	e, c, s := setup(8, Config{SubmitLatency: 5, ReleaseLatency: 1})
+	var activeAt float64 = -1
+	j, err := s.Submit(2, func(*Job) { activeAt = e.Now() })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.State() != Submitted {
+		t.Fatalf("state = %v right after submit", j.State())
+	}
+	e.Run()
+	if activeAt != 5 {
+		t.Fatalf("job active at %g, want 5", activeAt)
+	}
+	if j.State() != Active || c.Used() != 2 {
+		t.Fatalf("state=%v used=%d", j.State(), c.Used())
+	}
+}
+
+func TestReleaseActiveJob(t *testing.T) {
+	e, c, s := setup(8, Config{SubmitLatency: 2, ReleaseLatency: 3})
+	j, _ := s.Submit(4, nil)
+	e.RunUntil(2)
+	if j.State() != Active {
+		t.Fatalf("state = %v", j.State())
+	}
+	if err := s.Release(j); err != nil {
+		t.Fatal(err)
+	}
+	if c.Used() != 4 {
+		t.Fatal("nodes should still be held during release latency")
+	}
+	e.RunUntil(5.1)
+	if c.Used() != 0 || j.State() != Released {
+		t.Fatalf("used=%d state=%v after release", c.Used(), j.State())
+	}
+}
+
+func TestReleaseInFlightJobNeverHoldsNodes(t *testing.T) {
+	e, c, s := setup(8, Config{SubmitLatency: 5, ReleaseLatency: 1})
+	j, _ := s.Submit(3, func(*Job) { t.Error("onActive fired for released job") })
+	if err := s.Release(j); err != nil {
+		t.Fatal(err)
+	}
+	e.Run()
+	if c.Used() != 0 || j.State() != Released {
+		t.Fatalf("used=%d state=%v", c.Used(), j.State())
+	}
+}
+
+func TestReleasePendingJob(t *testing.T) {
+	e, c, s := setup(4, Config{SubmitLatency: 1, ReleaseLatency: 1})
+	blocker, _ := s.Submit(4, nil)
+	j, _ := s.Submit(2, func(*Job) { t.Error("onActive fired for released pending job") })
+	e.RunUntil(1.5)
+	if j.State() != Pending {
+		t.Fatalf("state = %v, want pending", j.State())
+	}
+	if err := s.Release(j); err != nil {
+		t.Fatal(err)
+	}
+	e.Run()
+	if j.State() != Released {
+		t.Fatalf("state = %v", j.State())
+	}
+	_ = blocker
+	_ = c
+}
+
+func TestDoubleReleaseFails(t *testing.T) {
+	e, _, s := setup(4, DefaultConfig())
+	j, _ := s.Submit(1, nil)
+	e.Run()
+	if err := s.Release(j); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Release(j); err == nil {
+		t.Fatal("double release should fail")
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	_, _, s := setup(4, DefaultConfig())
+	if _, err := s.Submit(0, nil); err == nil {
+		t.Fatal("zero-node submit should fail")
+	}
+	if _, err := s.Submit(5, nil); err == nil {
+		t.Fatal("oversize submit should fail")
+	}
+}
+
+func TestForeignJobRelease(t *testing.T) {
+	e := sim.New()
+	c1 := cluster.New("a", 4)
+	c2 := cluster.New("b", 4)
+	s1 := New(e, lrm.New(e, c1), DefaultConfig())
+	s2 := New(e, lrm.New(e, c2), DefaultConfig())
+	j, _ := s1.Submit(1, nil)
+	if err := s2.Release(j); err == nil {
+		t.Fatal("releasing a foreign job should fail")
+	}
+}
+
+func TestStubCollectionGrowShrink(t *testing.T) {
+	// The MRunner pattern end to end: grow by submitting size-1 stubs,
+	// shrink by releasing some of them.
+	e, c, s := setup(10, Config{SubmitLatency: 2, ReleaseLatency: 0.5})
+	active := 0
+	var jobs []*Job
+	for i := 0; i < 6; i++ {
+		j, err := s.Submit(1, func(*Job) { active++ })
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, j)
+	}
+	e.Run()
+	if active != 6 || c.Used() != 6 {
+		t.Fatalf("active=%d used=%d", active, c.Used())
+	}
+	for _, j := range jobs[:3] {
+		if err := s.Release(j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.Run()
+	if c.Used() != 3 {
+		t.Fatalf("used=%d after shrink", c.Used())
+	}
+	sub, act, rel := s.Stats()
+	if sub != 6 || act != 6 || rel != 3 {
+		t.Fatalf("stats = %d/%d/%d", sub, act, rel)
+	}
+}
+
+func TestNegativeLatencyPanics(t *testing.T) {
+	e := sim.New()
+	c := cluster.New("x", 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("negative latency did not panic")
+		}
+	}()
+	New(e, lrm.New(e, c), Config{SubmitLatency: -1})
+}
+
+func TestStateString(t *testing.T) {
+	for s, want := range map[State]string{Submitted: "submitted", Pending: "pending", Active: "active", Released: "released", State(7): "state(7)"} {
+		if s.String() != want {
+			t.Errorf("State(%d) = %q, want %q", int(s), s.String(), want)
+		}
+	}
+}
+
+func TestDefaultConfigSane(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.SubmitLatency <= 0 || cfg.ReleaseLatency <= 0 {
+		t.Fatalf("default config not positive: %+v", cfg)
+	}
+	if cfg.ReleaseLatency >= cfg.SubmitLatency {
+		t.Fatal("release should be cheaper than submission (§V-A)")
+	}
+}

@@ -1,0 +1,111 @@
+package koala
+
+import "repro/internal/sim"
+
+// ProcessorInfo is what the processor information provider (PIP) reports for
+// one cluster: totals and idle counts as observed at the monitoring
+// infrastructure. Background load from users who bypass KOALA is visible
+// only through the Idle figure (§V-B).
+type ProcessorInfo struct {
+	Total int
+	Idle  int
+}
+
+// NetworkInfo is what the network information provider (NIP) reports for a
+// pair of sites.
+type NetworkInfo struct {
+	LatencyMS     float64
+	BandwidthMBps float64
+}
+
+// Snapshot is one consistent view of the grid as assembled by the KOALA
+// information service. Scheduling and malleability decisions are made
+// against snapshots, never against live cluster state — this is what makes
+// the scheduler resilient to (and aware of) background load only at polling
+// granularity.
+type Snapshot struct {
+	Time       float64
+	Processors map[string]ProcessorInfo
+}
+
+// Idle returns the idle processor count of the named cluster (0 if unknown).
+func (s Snapshot) Idle(site string) int { return s.Processors[site].Idle }
+
+// TotalIdle sums idle processors over all clusters.
+func (s Snapshot) TotalIdle() int {
+	total := 0
+	for _, p := range s.Processors {
+		total += p.Idle
+	}
+	return total
+}
+
+// KIS is the KOALA information service (§IV-A): it aggregates a processor
+// information provider, a network information provider and a replica
+// location service, and serves snapshots to the scheduler.
+type KIS struct {
+	engine *sim.Engine
+	sites  []*Site
+
+	latency map[[2]string]NetworkInfo
+
+	refreshes uint64
+	last      Snapshot
+}
+
+// NewKIS builds the information service over the given sites.
+func NewKIS(engine *sim.Engine, sites []*Site) *KIS {
+	k := &KIS{engine: engine, sites: sites, latency: make(map[[2]string]NetworkInfo)}
+	k.Refresh()
+	return k
+}
+
+// SetNetworkInfo records NIP data for the (from, to) site pair.
+func (k *KIS) SetNetworkInfo(from, to string, info NetworkInfo) {
+	k.latency[[2]string{from, to}] = info
+}
+
+// Network returns NIP data for the (from, to) site pair; the zero value
+// means "unknown".
+func (k *KIS) Network(from, to string) NetworkInfo {
+	return k.latency[[2]string{from, to}]
+}
+
+// Refresh polls the providers and captures a new snapshot, returning it.
+// The scheduler calls this on its polling tick (§V-B), which is how changes
+// in background load become visible.
+func (k *KIS) Refresh() Snapshot {
+	procs := make(map[string]ProcessorInfo, len(k.sites))
+	for _, s := range k.sites {
+		procs[s.Name()] = ProcessorInfo{Total: s.Cluster().Nodes(), Idle: s.Cluster().Idle()}
+	}
+	k.refreshes++
+	k.last = Snapshot{Time: k.engine.Now(), Processors: procs}
+	return k.last
+}
+
+// Last returns the most recent snapshot without refreshing.
+func (k *KIS) Last() Snapshot { return k.last }
+
+// Refreshes returns how many snapshots have been captured.
+func (k *KIS) Refreshes() uint64 { return k.refreshes }
+
+// ReplicaSites implements the replica location service: it returns the
+// names of the sites holding all of the given files. With no files required
+// it returns every site.
+func (k *KIS) ReplicaSites(files []string) []string {
+	var out []string
+	for _, s := range k.sites {
+		all := true
+		for _, f := range files {
+			if !s.HasFile(f) {
+				all = false
+				break
+			}
+		}
+		if all {
+			out = append(out, s.Name())
+		}
+	}
+	return out
+}

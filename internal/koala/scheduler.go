@@ -1,0 +1,390 @@
+package koala
+
+import (
+	"fmt"
+
+	"repro/internal/app"
+	"repro/internal/runner"
+	"repro/internal/sim"
+)
+
+// Hooks is how the malleability manager (package core, §V) plugs into the
+// scheduler. A nil hook set gives plain KOALA behaviour: the queue is
+// scanned whenever processors become available.
+type Hooks interface {
+	// Poll fires on every scheduler polling tick with a fresh KIS snapshot;
+	// this is where the PRA/PWA approaches run their management round.
+	Poll(snap Snapshot)
+	// ProcessorsAvailable fires when a job finishes and its processors
+	// return. With PRA, running malleable jobs get precedence over the
+	// queue; the hook is responsible for eventually calling ScanQueue.
+	ProcessorsAvailable()
+	// PlacementBlocked fires when the queue head cannot be placed. With
+	// PWA it shrinks running malleable jobs to make room; it returns true
+	// when room is being made (so the scheduler stops scanning this round).
+	PlacementBlocked(j *Job) bool
+	// Reserved reports processors of the named site that the malleability
+	// manager has granted to growing jobs but that are not yet held (stub
+	// submissions in flight). The processor claimer subtracts them from
+	// every placement view so that newly arriving jobs cannot double-book
+	// processors already promised to running applications.
+	Reserved(site string) int
+}
+
+// Config holds the scheduler's tunables.
+type Config struct {
+	// Policy is the placement policy; all paper experiments use Worst-Fit.
+	Policy PlacementPolicy
+	// MaxPlacementTries rejects a job after this many failed placement
+	// attempts (§IV-A). Zero means unlimited.
+	MaxPlacementTries int
+	// PollInterval is the period at which the scheduler polls the KIS and
+	// triggers job management (§V-B).
+	PollInterval float64
+	// MRunnerConfig configures the malleable runners the scheduler spawns.
+	MRunnerConfig runner.MRunnerConfig
+	// MoldableSizing picks the start size for moldable components given
+	// the profile bounds and the idle processors of the chosen site; nil
+	// uses the requested size.
+	MoldableSizing func(min, max, idle int) int
+}
+
+// DefaultConfig mirrors the experimental setup: Worst-Fit placement and a
+// short polling period so background load is discovered promptly.
+func DefaultConfig() Config {
+	return Config{
+		Policy:            WorstFit{},
+		MaxPlacementTries: 0,
+		PollInterval:      15,
+		MRunnerConfig:     runner.DefaultMRunnerConfig(),
+	}
+}
+
+// Scheduler is the centralised KOALA scheduler: the co-allocator (CO) that
+// decides placements, and the processor claimer (PC) that turns placements
+// into GRAM submissions through the runners (§IV-A).
+type Scheduler struct {
+	engine *sim.Engine
+	sites  []*Site
+	kis    *KIS
+	cfg    Config
+
+	queue []*Job
+	jobs  []*Job
+
+	// pending counts processors claimed for placed jobs whose GRAM
+	// submissions are still in flight. The processor claimer subtracts them
+	// from every placement view so the submission latency cannot cause
+	// double-booking (§IV-A's claiming policy, adapted to immediate
+	// claiming).
+	pending map[string]int
+
+	hooks  Hooks
+	ticker *sim.Ticker
+
+	// OnJobStarted/OnJobFinished/OnJobRejected feed the metrics layer.
+	OnJobStarted  func(*Job)
+	OnJobFinished func(*Job)
+	OnJobRejected func(*Job)
+
+	scanning bool
+}
+
+// NewScheduler assembles a scheduler over the given sites.
+func NewScheduler(engine *sim.Engine, sites []*Site, cfg Config) *Scheduler {
+	if cfg.Policy == nil {
+		cfg.Policy = WorstFit{}
+	}
+	if cfg.PollInterval <= 0 {
+		cfg.PollInterval = 5
+	}
+	s := &Scheduler{
+		engine:  engine,
+		sites:   sites,
+		kis:     NewKIS(engine, sites),
+		cfg:     cfg,
+		pending: make(map[string]int),
+	}
+	s.ticker = sim.NewTicker(engine, cfg.PollInterval, s.pollTick)
+	return s
+}
+
+// KIS returns the scheduler's information service.
+func (s *Scheduler) KIS() *KIS { return s.kis }
+
+// Sites returns the execution sites.
+func (s *Scheduler) Sites() []*Site { return s.sites }
+
+// Config returns the scheduler configuration.
+func (s *Scheduler) Config() Config { return s.cfg }
+
+// SetHooks installs the malleability manager's hooks.
+func (s *Scheduler) SetHooks(h Hooks) { s.hooks = h }
+
+// Stop halts the polling ticker (end of experiment).
+func (s *Scheduler) Stop() { s.ticker.Stop() }
+
+// Jobs returns every job ever submitted, in submission order.
+func (s *Scheduler) Jobs() []*Job { return s.jobs }
+
+// QueueLength returns the number of jobs waiting for placement.
+func (s *Scheduler) QueueLength() int { return len(s.queue) }
+
+// QueuedJobs returns the placement queue, head first. The slice must not be
+// modified.
+func (s *Scheduler) QueuedJobs() []*Job { return s.queue }
+
+// RunningMalleableJobs returns the malleable jobs currently running on the
+// named site, sorted by increasing start time (the order both malleability
+// policies consume, §V-C).
+func (s *Scheduler) RunningMalleableJobs(site string) []*Job {
+	var out []*Job
+	for _, j := range s.jobs {
+		if j.state == Running && j.Malleable() && j.Site() != nil && j.Site().Name() == site {
+			out = append(out, j)
+		}
+	}
+	// Jobs are stored in submission order; start times are monotone within
+	// a site only by accident, so sort explicitly (stable on ties).
+	for i := 1; i < len(out); i++ {
+		for k := i; k > 0 && out[k].startTime < out[k-1].startTime; k-- {
+			out[k], out[k-1] = out[k-1], out[k]
+		}
+	}
+	return out
+}
+
+// pollTick is the periodic heartbeat: refresh the KIS (discovering
+// background load) and hand control to the malleability manager; without a
+// manager, just rescan the queue.
+func (s *Scheduler) pollTick() {
+	snap := s.kis.Refresh()
+	if s.hooks != nil {
+		s.hooks.Poll(snap)
+		return
+	}
+	s.ScanQueue()
+}
+
+// Submit enters a job into the system and immediately tries to place it.
+func (s *Scheduler) Submit(spec JobSpec) (*Job, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if spec.ID == "" {
+		spec.ID = fmt.Sprintf("job-%d", len(s.jobs))
+	}
+	j := &Job{Spec: spec, state: Waiting, submitTime: s.engine.Now()}
+	s.jobs = append(s.jobs, j)
+	if !s.tryPlace(j) {
+		s.queue = append(s.queue, j)
+		if s.rejectIfOverThreshold(j) {
+			return j, nil
+		}
+	}
+	return j, nil
+}
+
+// rejectIfOverThreshold applies the placement-try threshold of §IV-A; it
+// reports whether the job was rejected (and removed from the queue).
+func (s *Scheduler) rejectIfOverThreshold(j *Job) bool {
+	if s.cfg.MaxPlacementTries <= 0 || j.tries <= s.cfg.MaxPlacementTries {
+		return false
+	}
+	s.removeFromQueue(j)
+	j.state = Rejected
+	if s.OnJobRejected != nil {
+		s.OnJobRejected(j)
+	}
+	return true
+}
+
+func (s *Scheduler) removeFromQueue(j *Job) {
+	for i, q := range s.queue {
+		if q == j {
+			s.queue = append(s.queue[:i], s.queue[i+1:]...)
+			return
+		}
+	}
+}
+
+// ScanQueue walks the placement queue head to tail, placing every job that
+// fits (§IV-A). When a job cannot be placed and the malleability hooks
+// report that room is being made for it (PWA mandatory shrinks), scanning
+// stops to preserve the queue order.
+func (s *Scheduler) ScanQueue() {
+	if s.scanning {
+		return
+	}
+	s.scanning = true
+	defer func() { s.scanning = false }()
+	i := 0
+	for i < len(s.queue) {
+		j := s.queue[i]
+		if s.tryPlace(j) {
+			s.queue = append(s.queue[:i], s.queue[i+1:]...)
+			continue
+		}
+		if s.rejectIfOverThreshold(j) {
+			continue
+		}
+		if s.hooks != nil && s.hooks.PlacementBlocked(j) {
+			return
+		}
+		i++
+	}
+}
+
+// PendingClaims returns the processors claimed on the named site for jobs
+// whose GRAM submissions are still in flight.
+func (s *Scheduler) PendingClaims(site string) int { return s.pending[site] }
+
+// placementView returns a fresh snapshot with in-flight claims and the
+// malleability manager's in-flight growth reservations subtracted.
+func (s *Scheduler) placementView() Snapshot {
+	snap := s.kis.Refresh()
+	adj := Snapshot{Time: snap.Time, Processors: make(map[string]ProcessorInfo, len(snap.Processors))}
+	for name, info := range snap.Processors {
+		info.Idle -= s.pending[name]
+		if s.hooks != nil {
+			info.Idle -= s.hooks.Reserved(name)
+		}
+		if info.Idle < 0 {
+			info.Idle = 0
+		}
+		adj.Processors[name] = info
+	}
+	return adj
+}
+
+// tryPlace runs the placement policy against a claims-adjusted snapshot
+// and, on success, claims the processors by starting the job's runners. It
+// counts one placement try either way.
+func (s *Scheduler) tryPlace(j *Job) bool {
+	if j.state != Waiting {
+		return false
+	}
+	j.tries++
+	placements, ok := s.cfg.Policy.Place(&j.Spec, s.placementView(), s.kis, s.sites)
+	if !ok {
+		return false
+	}
+	s.claim(j, placements)
+	return true
+}
+
+// claim is the processor claimer (PC): it turns placements into runners.
+// Local resource managers on DAS-3 do not support reservations, so claiming
+// is immediate GRAM submission; the postponed-claiming policy of [20], [21]
+// degenerates to claiming at placement time in this model.
+func (s *Scheduler) claim(j *Job, placements []ComponentPlacement) {
+	j.state = Placing
+	j.placeTime = s.engine.Now()
+	j.claims = make(map[string]int, len(placements))
+	for _, p := range placements {
+		j.sites = append(j.sites, p.Site)
+		j.claims[p.Site.Name()] += p.Size
+		s.pending[p.Site.Name()] += p.Size
+	}
+	cb := runner.Callbacks{
+		OnStarted:  func() { s.jobStarted(j) },
+		OnFinished: func() { s.jobFinished(j) },
+	}
+	if j.Malleable() {
+		comp := j.Spec.Components[0]
+		mr, err := runner.NewMRunner(s.engine, placements[0].Site.Gram(), comp.Profile, placements[0].Size, s.cfg.MRunnerConfig, cb)
+		if err != nil {
+			panic(fmt.Sprintf("koala: claim failed for %s: %v", j.Spec.ID, err))
+		}
+		j.mrunner = mr
+		// Route application-initiated grow requests (§II-C) to the
+		// malleability manager when it supports them.
+		if h, ok := s.hooks.(runner.AppGrowHandler); ok {
+			mr.SetAppGrowHandler(h)
+		}
+		if err := mr.Start(); err != nil {
+			panic(fmt.Sprintf("koala: start failed for %s: %v", j.Spec.ID, err))
+		}
+		return
+	}
+	if len(placements) == 1 {
+		comp := j.Spec.Components[placements[0].Component]
+		size := placements[0].Size
+		if comp.Profile.Class == app.Moldable && s.cfg.MoldableSizing != nil {
+			idle := s.kis.Last().Idle(placements[0].Site.Name())
+			size = clamp(s.cfg.MoldableSizing(comp.Profile.Min, comp.Profile.Max, idle+size), comp.Profile.Min, comp.Profile.Max)
+			// Moldable sizing may differ from the placed size: keep the
+			// claim accounting in sync.
+			site := placements[0].Site.Name()
+			j.claims[site] += size - placements[0].Size
+			s.pending[site] += size - placements[0].Size
+		}
+		rr, err := runner.NewRigidRunner(s.engine, placements[0].Site.Gram(), comp.Profile, size, cb)
+		if err != nil {
+			panic(fmt.Sprintf("koala: claim failed for %s: %v", j.Spec.ID, err))
+		}
+		j.rigidRunners = []*runner.RigidRunner{rr}
+		if err := rr.Start(); err != nil {
+			panic(fmt.Sprintf("koala: start failed for %s: %v", j.Spec.ID, err))
+		}
+		return
+	}
+	// Multi-component (co-allocated) job: one spanning runner.
+	profile := j.Spec.Components[placements[0].Component].Profile
+	comps := make([]runner.CoComponent, 0, len(placements))
+	for _, p := range placements {
+		comps = append(comps, runner.CoComponent{Svc: p.Site.Gram(), Size: p.Size})
+	}
+	cr, err := runner.NewCoRunner(s.engine, profile, comps, cb)
+	if err != nil {
+		panic(fmt.Sprintf("koala: claim failed for %s: %v", j.Spec.ID, err))
+	}
+	j.coRunner = cr
+	if err := cr.Start(); err != nil {
+		panic(fmt.Sprintf("koala: start failed for %s: %v", j.Spec.ID, err))
+	}
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func (s *Scheduler) jobStarted(j *Job) {
+	j.state = Running
+	j.startTime = s.engine.Now()
+	// The job's processors are now held at the clusters; drop the claims.
+	for site, n := range j.claims {
+		s.pending[site] -= n
+		if s.pending[site] <= 0 {
+			delete(s.pending, site)
+		}
+	}
+	j.claims = nil
+	if s.OnJobStarted != nil {
+		s.OnJobStarted(j)
+	}
+}
+
+func (s *Scheduler) jobFinished(j *Job) {
+	j.state = Finished
+	j.endTime = s.engine.Now()
+	if s.OnJobFinished != nil {
+		s.OnJobFinished(j)
+	}
+	// Processors just came back: give the malleability manager precedence,
+	// or rescan the queue directly in plain-KOALA mode. Deferred through
+	// the engine so the GRAM releases settle first.
+	s.engine.Immediately(func() {
+		if s.hooks != nil {
+			s.hooks.ProcessorsAvailable()
+		} else {
+			s.ScanQueue()
+		}
+	})
+}

@@ -1,0 +1,298 @@
+package koala
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/app"
+	"repro/internal/cluster"
+	"repro/internal/gram"
+	"repro/internal/runner"
+	"repro/internal/sim"
+)
+
+func newSched(t *testing.T, cfg Config, nodes ...int) (*sim.Engine, []*Site, *Scheduler) {
+	t.Helper()
+	e := sim.New()
+	clusters := make([]*cluster.Cluster, len(nodes))
+	for i, n := range nodes {
+		clusters[i] = cluster.New(string(rune('A'+i)), n)
+	}
+	sites := BuildSites(e, cluster.NewMulticluster(clusters...), gram.Config{SubmitLatency: 5, ReleaseLatency: 0.5})
+	return e, sites, NewScheduler(e, sites, cfg)
+}
+
+func fastCfg() Config {
+	return Config{
+		Policy:        WorstFit{},
+		PollInterval:  5,
+		MRunnerConfig: runner.MRunnerConfig{Costs: app.ReconfigCosts{}, AcquireTimeout: 0},
+	}
+}
+
+func TestSubmitAndRunRigidJob(t *testing.T) {
+	e, _, s := newSched(t, fastCfg(), 16)
+	var started, finished *Job
+	s.OnJobStarted = func(j *Job) { started = j }
+	s.OnJobFinished = func(j *Job) { finished = j }
+	j, err := s.Submit(rigidSpec("r1", 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.RunUntil(200)
+	if started != j || finished != j {
+		t.Fatal("lifecycle callbacks missing")
+	}
+	if j.State() != Finished {
+		t.Fatalf("state = %v", j.State())
+	}
+	if j.StartTime() != 5 {
+		t.Fatalf("start = %g", j.StartTime())
+	}
+	if math.Abs(j.EndTime()-125) > 1e-6 { // 5 + FT T(2)=120
+		t.Fatalf("end = %g", j.EndTime())
+	}
+	if j.Site() == nil || j.Site().Name() != "A" {
+		t.Fatal("site not recorded")
+	}
+	s.Stop()
+}
+
+func TestSubmitMalleableJobUsesMRunner(t *testing.T) {
+	e, _, s := newSched(t, fastCfg(), 48)
+	j, err := s.Submit(malleableSpec("m1", app.GadgetProfile(), 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.RunUntil(100)
+	if j.MRunner() == nil || j.State() != Running {
+		t.Fatalf("mrunner=%v state=%v", j.MRunner(), j.State())
+	}
+	if j.CurrentProcs() != 2 {
+		t.Fatalf("procs = %d", j.CurrentProcs())
+	}
+	if got := j.RequestGrow(10); got != 10 {
+		t.Fatalf("grow accepted %d", got)
+	}
+	e.RunUntil(200)
+	if j.CurrentProcs() != 12 {
+		t.Fatalf("procs = %d after grow", j.CurrentProcs())
+	}
+	s.Stop()
+}
+
+func TestQueueingWhenFull(t *testing.T) {
+	e, _, s := newSched(t, fastCfg(), 4)
+	a, _ := s.Submit(rigidSpec("a", 4))
+	b, _ := s.Submit(rigidSpec("b", 4))
+	e.RunUntil(50)
+	if a.State() != Running || b.State() != Waiting {
+		t.Fatalf("a=%v b=%v", a.State(), b.State())
+	}
+	if s.QueueLength() != 1 {
+		t.Fatalf("queue = %d", s.QueueLength())
+	}
+	// a finishes at 125; the poll tick then places b.
+	e.RunUntil(300)
+	if b.State() != Running && b.State() != Finished {
+		t.Fatalf("b = %v after a finished", b.State())
+	}
+	s.Stop()
+}
+
+func TestPlacementTriesThresholdRejects(t *testing.T) {
+	cfg := fastCfg()
+	cfg.MaxPlacementTries = 3
+	e, _, s := newSched(t, cfg, 4)
+	var rejected *Job
+	s.OnJobRejected = func(j *Job) { rejected = j }
+	// Occupy the cluster with a long job, then submit an unplaceable one.
+	s.Submit(malleableSpec("long", app.GadgetProfile(), 2))
+	big, _ := s.Submit(rigidSpec("big", 4))
+	e.RunUntil(100) // poll ticks at 5s intervals accumulate tries
+	if big.State() != Rejected {
+		t.Fatalf("state = %v, tries = %d", big.State(), big.Tries())
+	}
+	if rejected != big {
+		t.Fatal("rejection callback missing")
+	}
+	if big.Tries() != 4 { // threshold 3 exceeded on the 4th try
+		t.Fatalf("tries = %d", big.Tries())
+	}
+	s.Stop()
+}
+
+func TestJobSpecValidation(t *testing.T) {
+	_, _, s := newSched(t, fastCfg(), 8)
+	bad := []JobSpec{
+		{ID: "none"},
+		{ID: "badsize", Components: []ComponentSpec{{Profile: app.FTProfile(), Size: 1}}},
+		{ID: "nilprof", Components: []ComponentSpec{{Profile: nil, Size: 2}}},
+		{ID: "co-malleable", Components: []ComponentSpec{
+			{Profile: app.FTProfile(), Size: 2},
+			{Profile: app.FTProfile(), Size: 2},
+		}},
+	}
+	for _, spec := range bad {
+		if _, err := s.Submit(spec); err == nil {
+			t.Errorf("spec %q should be rejected", spec.ID)
+		}
+	}
+}
+
+func TestCoAllocatedJobSpansClusters(t *testing.T) {
+	e, sites, s := newSched(t, fastCfg(), 8, 8)
+	spec := JobSpec{ID: "co", Components: []ComponentSpec{
+		{Profile: app.RigidProfile("co-ft", app.FTModel(), 8), Size: 8},
+		{Profile: app.RigidProfile("co-ft", app.FTModel(), 8), Size: 8},
+	}}
+	j, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.RunUntil(20)
+	if j.State() != Running || j.CoRunner() == nil {
+		t.Fatalf("state=%v", j.State())
+	}
+	if j.CurrentProcs() != 16 {
+		t.Fatalf("procs = %d", j.CurrentProcs())
+	}
+	if sites[0].Cluster().Used() != 8 || sites[1].Cluster().Used() != 8 {
+		t.Fatal("both clusters should hold a component")
+	}
+	e.RunUntil(200)
+	if j.State() != Finished {
+		t.Fatalf("state = %v", j.State())
+	}
+	if sites[0].Cluster().Used() != 0 || sites[1].Cluster().Used() != 0 {
+		t.Fatal("nodes not released")
+	}
+	s.Stop()
+}
+
+func TestRunningMalleableJobsSortedByStart(t *testing.T) {
+	e, _, s := newSched(t, fastCfg(), 48)
+	var jobs []*Job
+	for i := 0; i < 3; i++ {
+		id := string(rune('a' + i))
+		at := float64(i * 50)
+		e.At(at, func() {
+			j, err := s.Submit(malleableSpec(id, app.GadgetProfile(), 2))
+			if err != nil {
+				t.Error(err)
+			}
+			jobs = append(jobs, j)
+		})
+	}
+	e.RunUntil(200)
+	got := s.RunningMalleableJobs("A")
+	if len(got) != 3 {
+		t.Fatalf("running = %d", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].StartTime() < got[i-1].StartTime() {
+			t.Fatal("not sorted by start time")
+		}
+	}
+	// Rigid jobs and other sites excluded.
+	if len(s.RunningMalleableJobs("Z")) != 0 {
+		t.Fatal("unknown site should have no jobs")
+	}
+	s.Stop()
+}
+
+func TestMoldableSizing(t *testing.T) {
+	cfg := fastCfg()
+	cfg.MoldableSizing = func(min, max, idle int) int { return max }
+	e, _, s := newSched(t, cfg, 64)
+	spec := JobSpec{ID: "mold", Components: []ComponentSpec{{
+		Profile: app.MoldableProfile("m", app.GadgetModel(), 2, 16), Size: 2,
+	}}}
+	j, _ := s.Submit(spec)
+	e.RunUntil(50)
+	if j.CurrentProcs() != 16 {
+		t.Fatalf("moldable started at %d, want 16", j.CurrentProcs())
+	}
+	s.Stop()
+}
+
+func TestHooksReceivePollAndAvailability(t *testing.T) {
+	e, _, s := newSched(t, fastCfg(), 8)
+	h := &recordingHooks{}
+	s.SetHooks(h)
+	s.Submit(rigidSpec("r", 2))
+	e.RunUntil(200)
+	if h.polls == 0 {
+		t.Fatal("Poll never fired")
+	}
+	if h.avail != 1 {
+		t.Fatalf("ProcessorsAvailable fired %d times, want 1", h.avail)
+	}
+	s.Stop()
+}
+
+type recordingHooks struct {
+	polls, avail, blocked int
+	blockReturn           bool
+}
+
+func (h *recordingHooks) Poll(Snapshot)              { h.polls++ }
+func (h *recordingHooks) ProcessorsAvailable()       { h.avail++ }
+func (h *recordingHooks) PlacementBlocked(*Job) bool { h.blocked++; return h.blockReturn }
+func (h *recordingHooks) Reserved(string) int        { return 0 }
+
+func TestPlacementBlockedHookStopsScan(t *testing.T) {
+	e, _, s := newSched(t, fastCfg(), 4)
+	h := &recordingHooks{blockReturn: true}
+	s.SetHooks(h)
+	s.Submit(malleableSpec("long", app.GadgetProfile(), 2)) // occupies 2
+	s.Submit(rigidSpec("blocked", 4))                       // cannot fit → queue
+	s.Submit(rigidSpec("fits", 2))                          // would fit, but scan must stop
+	e.RunUntil(6)
+	s.ScanQueue()
+	if h.blocked == 0 {
+		t.Fatal("PlacementBlocked never fired")
+	}
+	// Queue order preserved: the small job behind the blocked head did not
+	// jump ahead.
+	for _, j := range s.QueuedJobs() {
+		if j.Spec.ID == "fits" && j.State() != Waiting {
+			t.Fatal("job behind blocked head was placed")
+		}
+	}
+	s.Stop()
+}
+
+func TestJobStateString(t *testing.T) {
+	for st, want := range map[JobState]string{Waiting: "waiting", Placing: "placing", Running: "running", Finished: "finished", Rejected: "rejected", JobState(9): "state(9)"} {
+		if st.String() != want {
+			t.Errorf("JobState(%d) = %q", int(st), st.String())
+		}
+	}
+}
+
+func TestMinMaxProcs(t *testing.T) {
+	spec := malleableSpec("m", app.FTProfile(), 2)
+	j := &Job{Spec: spec}
+	if j.MinProcs() != 2 || j.MaxProcs() != 32 {
+		t.Fatalf("min=%d max=%d", j.MinProcs(), j.MaxProcs())
+	}
+}
+
+func TestDefaultConfig(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.Policy == nil || cfg.PollInterval <= 0 {
+		t.Fatalf("bad defaults: %+v", cfg)
+	}
+}
+
+func TestAutoJobID(t *testing.T) {
+	e, _, s := newSched(t, fastCfg(), 8)
+	a, _ := s.Submit(rigidSpec("", 2))
+	b, _ := s.Submit(rigidSpec("", 2))
+	if a.Spec.ID == "" || a.Spec.ID == b.Spec.ID {
+		t.Fatalf("IDs: %q %q", a.Spec.ID, b.Spec.ID)
+	}
+	e.RunUntil(1)
+	s.Stop()
+}

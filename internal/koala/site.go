@@ -1,0 +1,77 @@
+// Package koala reproduces the KOALA co-allocating multicluster scheduler of
+// §IV-A: execution sites backed by local resource managers and GRAM, the
+// KOALA information service (KIS) with its processor, network and replica
+// providers, the placement queue with its retry threshold, and the four
+// placement policies (Worst-Fit, Close-to-Files, Cluster Minimization and
+// Flexible Cluster Minimization).
+//
+// Malleability support (§V) lives in package core, which plugs into the
+// scheduler through the Hooks interface.
+package koala
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/gram"
+	"repro/internal/lrm"
+	"repro/internal/sim"
+)
+
+// Site is one execution site of the grid: a cluster together with its local
+// resource manager and GRAM endpoint, plus the data that the Close-to-Files
+// policy consults (which input files are replicated here and how fast
+// transfers to this site are).
+type Site struct {
+	clus *cluster.Cluster
+	mgr  *lrm.Manager
+	svc  *gram.Service
+
+	files        map[string]bool
+	transferRate float64 // bytes/second towards this site, for CF estimates
+}
+
+// NewSite assembles a site from its parts.
+func NewSite(clus *cluster.Cluster, mgr *lrm.Manager, svc *gram.Service) *Site {
+	return &Site{clus: clus, mgr: mgr, svc: svc, files: make(map[string]bool), transferRate: 100e6}
+}
+
+// BuildSites creates one site per cluster of the multicluster, each with its
+// own LRM and GRAM service.
+func BuildSites(engine *sim.Engine, mc *cluster.Multicluster, gramCfg gram.Config) []*Site {
+	sites := make([]*Site, 0, len(mc.Clusters()))
+	for _, c := range mc.Clusters() {
+		mgr := lrm.New(engine, c)
+		sites = append(sites, NewSite(c, mgr, gram.New(engine, mgr, gramCfg)))
+	}
+	return sites
+}
+
+// Name returns the site (cluster) name.
+func (s *Site) Name() string { return s.clus.Name() }
+
+// Cluster returns the underlying cluster.
+func (s *Site) Cluster() *cluster.Cluster { return s.clus }
+
+// LRM returns the site's local resource manager.
+func (s *Site) LRM() *lrm.Manager { return s.mgr }
+
+// Gram returns the site's GRAM service.
+func (s *Site) Gram() *gram.Service { return s.svc }
+
+// AddFile registers an input-file replica at this site (feeds the RLS).
+func (s *Site) AddFile(name string) { s.files[name] = true }
+
+// HasFile reports whether the named file is replicated at this site.
+func (s *Site) HasFile(name string) bool { return s.files[name] }
+
+// SetTransferRate sets the estimated inbound transfer rate (bytes/second).
+func (s *Site) SetTransferRate(rate float64) {
+	if rate <= 0 {
+		panic(fmt.Sprintf("koala: non-positive transfer rate for %s", s.Name()))
+	}
+	s.transferRate = rate
+}
+
+// TransferRate returns the estimated inbound transfer rate.
+func (s *Site) TransferRate() float64 { return s.transferRate }

@@ -1,0 +1,188 @@
+// Package lrm models the local resource manager of each cluster — the Sun
+// Grid Engine of the DAS-3 testbed (§VI-B). SGE is configured space-shared:
+// jobs get exclusive nodes, the allocation granularity is the node, and
+// queued jobs start first-come-first-served as nodes free up.
+//
+// The grid layers above (GRAM, KOALA) never touch cluster allocations
+// directly; every node held on behalf of a grid job is held through an LRM
+// job, exactly as on the real testbed.
+package lrm
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+)
+
+// State is the lifecycle state of an LRM job.
+type State int
+
+const (
+	// Queued means the job waits for enough idle nodes.
+	Queued State = iota
+	// Running means the job holds its nodes.
+	Running
+	// Finished means the job completed and released its nodes.
+	Finished
+	// Canceled means the job was removed from the queue before starting.
+	Canceled
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case Queued:
+		return "queued"
+	case Running:
+		return "running"
+	case Finished:
+		return "finished"
+	case Canceled:
+		return "canceled"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// Job is one space-shared job managed by the LRM.
+type Job struct {
+	ID    string
+	Nodes int
+
+	state   State
+	alloc   *cluster.Allocation
+	onStart func(*Job)
+	mgr     *Manager
+}
+
+// State returns the job's lifecycle state.
+func (j *Job) State() State { return j.state }
+
+// SchedulingInterval is the period at which a non-empty queue is rescanned
+// even without submissions or completions — the SGE scheduler run interval.
+// Nodes can free up behind the LRM's back (local users logging out), and on
+// the real testbed SGE's periodic scheduling pass picks those up.
+const SchedulingInterval = 15.0
+
+// Manager is the per-cluster local resource manager.
+type Manager struct {
+	engine *sim.Engine
+	clus   *cluster.Cluster
+	queue  []*Job
+
+	dispatching bool
+	retry       *sim.Event
+	seq         int
+	running     int
+}
+
+// New creates an LRM driving the given cluster.
+func New(engine *sim.Engine, clus *cluster.Cluster) *Manager {
+	return &Manager{engine: engine, clus: clus}
+}
+
+// Cluster returns the managed cluster.
+func (m *Manager) Cluster() *cluster.Cluster { return m.clus }
+
+// QueueLength returns the number of jobs waiting for nodes.
+func (m *Manager) QueueLength() int { return len(m.queue) }
+
+// RunningJobs returns the number of currently running LRM jobs.
+func (m *Manager) RunningJobs() int { return m.running }
+
+// Submit enqueues a job for nodes nodes; onStart fires (via the simulation
+// engine, at the start instant) once the job holds its nodes. Jobs start
+// FCFS as capacity allows.
+func (m *Manager) Submit(id string, nodes int, onStart func(*Job)) (*Job, error) {
+	if nodes <= 0 {
+		return nil, fmt.Errorf("lrm %s: job %q requests %d nodes", m.clus.Name(), id, nodes)
+	}
+	if nodes > m.clus.Nodes() {
+		return nil, fmt.Errorf("lrm %s: job %q requests %d nodes but cluster has %d",
+			m.clus.Name(), id, nodes, m.clus.Nodes())
+	}
+	if id == "" {
+		id = fmt.Sprintf("%s-job-%d", m.clus.Name(), m.seq)
+	}
+	m.seq++
+	j := &Job{ID: id, Nodes: nodes, state: Queued, onStart: onStart, mgr: m}
+	m.queue = append(m.queue, j)
+	m.dispatch()
+	return j, nil
+}
+
+// Cancel removes a queued job. Canceling a running or completed job fails;
+// use Finish for running jobs.
+func (m *Manager) Cancel(j *Job) error {
+	if j.state != Queued {
+		return fmt.Errorf("lrm %s: cancel of %s job %q", m.clus.Name(), j.state, j.ID)
+	}
+	for i, q := range m.queue {
+		if q == j {
+			m.queue = append(m.queue[:i], m.queue[i+1:]...)
+			j.state = Canceled
+			return nil
+		}
+	}
+	return fmt.Errorf("lrm %s: job %q not found in queue", m.clus.Name(), j.ID)
+}
+
+// Finish completes a running job, releasing its nodes and dispatching any
+// queued jobs that now fit.
+func (m *Manager) Finish(j *Job) error {
+	if j.state != Running {
+		return fmt.Errorf("lrm %s: finish of %s job %q", m.clus.Name(), j.state, j.ID)
+	}
+	if err := j.alloc.Release(); err != nil {
+		return err
+	}
+	j.state = Finished
+	j.alloc = nil
+	m.running--
+	m.dispatch()
+	return nil
+}
+
+// dispatch starts queued jobs FCFS while the head fits. It defers actual
+// start callbacks through the engine so that state transitions triggered by
+// a release do not reentrantly interleave with the releasing caller. When
+// the head still does not fit, a retry is armed at the SGE scheduling
+// interval so that nodes freed outside the LRM's view (background users
+// leaving) are eventually picked up.
+func (m *Manager) dispatch() {
+	if m.dispatching {
+		return
+	}
+	m.dispatching = true
+	defer func() {
+		m.dispatching = false
+		m.armRetry()
+	}()
+	for len(m.queue) > 0 {
+		head := m.queue[0]
+		alloc, err := m.clus.Allocate(head.Nodes)
+		if err != nil {
+			return // strict FCFS: the head blocks the queue (no backfilling)
+		}
+		m.queue = m.queue[1:]
+		head.state = Running
+		head.alloc = alloc
+		m.running++
+		if head.onStart != nil {
+			h := head
+			m.engine.Immediately(func() { h.onStart(h) })
+		}
+	}
+}
+
+// armRetry schedules the next periodic scheduling pass while jobs wait.
+func (m *Manager) armRetry() {
+	if len(m.queue) == 0 || m.retry != nil {
+		return
+	}
+	m.retry = m.engine.After(SchedulingInterval, func() {
+		m.retry = nil
+		m.dispatch()
+	})
+}

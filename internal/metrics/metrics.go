@@ -1,0 +1,252 @@
+// Package metrics collects everything the paper's figures report: per-job
+// records (average/maximum processor counts over the execution, execution
+// and response times — Figs. 7a–d and 8a–d), the platform utilisation over
+// time (Figs. 7e, 8e), and exports to CSV.
+package metrics
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/cluster"
+	"repro/internal/koala"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// JobRecord captures one finished job's metrics.
+type JobRecord struct {
+	ID        string
+	App       string
+	Malleable bool
+	Site      string
+
+	SubmitTime float64
+	StartTime  float64
+	EndTime    float64
+
+	// ExecutionTime is EndTime − StartTime (Figs. 7c, 8c).
+	ExecutionTime float64
+	// ResponseTime is EndTime − SubmitTime (Figs. 7d, 8d).
+	ResponseTime float64
+	// WaitTime is StartTime − SubmitTime.
+	WaitTime float64
+
+	// AvgProcs is the processor count averaged over the execution time
+	// (Figs. 7a, 8a).
+	AvgProcs float64
+	// MaxProcs is the maximum processor count reached (Figs. 7b, 8b).
+	MaxProcs int
+	// InitProcs is the initial processor count.
+	InitProcs int
+}
+
+// Collector hooks a scheduler and a grid and accumulates metrics as the
+// simulation runs.
+type Collector struct {
+	engine *sim.Engine
+	grid   *cluster.Multicluster
+
+	records  []JobRecord
+	rejected []string
+
+	utilization *stats.TimeSeries
+	sampler     *sim.Ticker
+}
+
+// NewCollector attaches a collector to the scheduler's lifecycle callbacks
+// and samples grid utilisation every samplePeriod seconds.
+func NewCollector(engine *sim.Engine, sched *koala.Scheduler, grid *cluster.Multicluster, samplePeriod float64) *Collector {
+	c := &Collector{
+		engine:      engine,
+		grid:        grid,
+		utilization: stats.NewTimeSeries(),
+	}
+	if samplePeriod <= 0 {
+		samplePeriod = 10
+	}
+	c.utilization.Add(engine.Now(), float64(grid.TotalUsed()))
+	c.sampler = sim.NewTicker(engine, samplePeriod, func() {
+		c.utilization.Add(engine.Now(), float64(grid.TotalUsed()))
+	})
+	prevFinished := sched.OnJobFinished
+	sched.OnJobFinished = func(j *koala.Job) {
+		c.observe(j)
+		if prevFinished != nil {
+			prevFinished(j)
+		}
+	}
+	prevRejected := sched.OnJobRejected
+	sched.OnJobRejected = func(j *koala.Job) {
+		c.rejected = append(c.rejected, j.Spec.ID)
+		if prevRejected != nil {
+			prevRejected(j)
+		}
+	}
+	return c
+}
+
+// Stop halts utilisation sampling (end of experiment).
+func (c *Collector) Stop() { c.sampler.Stop() }
+
+// observe turns a finished job into a record.
+func (c *Collector) observe(j *koala.Job) {
+	rec := JobRecord{
+		ID:            j.Spec.ID,
+		App:           j.Spec.Components[0].Profile.Name,
+		Malleable:     j.Malleable(),
+		SubmitTime:    j.SubmitTime(),
+		StartTime:     j.StartTime(),
+		EndTime:       j.EndTime(),
+		ExecutionTime: j.EndTime() - j.StartTime(),
+		ResponseTime:  j.EndTime() - j.SubmitTime(),
+		WaitTime:      j.StartTime() - j.SubmitTime(),
+		InitProcs:     j.Spec.Components[0].Size,
+	}
+	if s := j.Site(); s != nil {
+		rec.Site = s.Name()
+	}
+	rec.AvgProcs, rec.MaxProcs = procStats(j)
+	c.records = append(c.records, rec)
+}
+
+// procStats integrates the allocation history of the job's execution.
+func procStats(j *koala.Job) (avg float64, maxP int) {
+	var times []float64
+	var procs []int
+	switch {
+	case j.MRunner() != nil && j.MRunner().Execution() != nil:
+		times, procs = j.MRunner().Execution().History()
+	case j.CoRunner() != nil && j.CoRunner().Execution() != nil:
+		times, procs = j.CoRunner().Execution().History()
+	case len(j.RigidRunners()) > 0 && j.RigidRunners()[0].Execution() != nil:
+		times, procs = j.RigidRunners()[0].Execution().History()
+	default:
+		return 0, 0
+	}
+	if len(times) == 0 {
+		return 0, 0
+	}
+	// Pauses are recorded as 0-processor steps but the processors stay
+	// held, so for size statistics carry the previous positive value
+	// through pauses (the final 0 marks the finish).
+	weighted := 0.0
+	span := 0.0
+	lastPositive := 0
+	for i := 0; i < len(times); i++ {
+		p := procs[i]
+		if p > 0 {
+			lastPositive = p
+			if p > maxP {
+				maxP = p
+			}
+		}
+		if i+1 < len(times) {
+			dt := times[i+1] - times[i]
+			use := p
+			if use == 0 {
+				use = lastPositive
+			}
+			weighted += float64(use) * dt
+			span += dt
+		}
+	}
+	if span <= 0 {
+		return float64(maxP), maxP
+	}
+	return weighted / span, maxP
+}
+
+// Records returns all finished-job records.
+func (c *Collector) Records() []JobRecord { return c.records }
+
+// Rejected returns the IDs of rejected jobs.
+func (c *Collector) Rejected() []string { return c.rejected }
+
+// Utilization returns the sampled total-used-processors series.
+func (c *Collector) Utilization() *stats.TimeSeries { return c.utilization }
+
+// Field selectors for building CDFs out of records.
+
+// AvgProcsOf extracts AvgProcs from records.
+func AvgProcsOf(recs []JobRecord) []float64 {
+	out := make([]float64, len(recs))
+	for i, r := range recs {
+		out[i] = r.AvgProcs
+	}
+	return out
+}
+
+// MaxProcsOf extracts MaxProcs from records.
+func MaxProcsOf(recs []JobRecord) []float64 {
+	out := make([]float64, len(recs))
+	for i, r := range recs {
+		out[i] = float64(r.MaxProcs)
+	}
+	return out
+}
+
+// ExecTimesOf extracts ExecutionTime from records.
+func ExecTimesOf(recs []JobRecord) []float64 {
+	out := make([]float64, len(recs))
+	for i, r := range recs {
+		out[i] = r.ExecutionTime
+	}
+	return out
+}
+
+// ResponseTimesOf extracts ResponseTime from records.
+func ResponseTimesOf(recs []JobRecord) []float64 {
+	out := make([]float64, len(recs))
+	for i, r := range recs {
+		out[i] = r.ResponseTime
+	}
+	return out
+}
+
+// OnlyMalleable filters records to malleable jobs.
+func OnlyMalleable(recs []JobRecord) []JobRecord {
+	var out []JobRecord
+	for _, r := range recs {
+		if r.Malleable {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// OnlyApp filters records to the named application.
+func OnlyApp(recs []JobRecord, name string) []JobRecord {
+	var out []JobRecord
+	for _, r := range recs {
+		if r.App == name {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// WriteCSV exports records as CSV.
+func WriteCSV(w io.Writer, recs []JobRecord) error {
+	cw := csv.NewWriter(w)
+	header := []string{"id", "app", "malleable", "site", "submit", "start", "end", "exec", "response", "wait", "avg_procs", "max_procs", "init_procs"}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'f', 3, 64) }
+	for _, r := range recs {
+		row := []string{
+			r.ID, r.App, fmt.Sprintf("%v", r.Malleable), r.Site,
+			f(r.SubmitTime), f(r.StartTime), f(r.EndTime),
+			f(r.ExecutionTime), f(r.ResponseTime), f(r.WaitTime),
+			f(r.AvgProcs), strconv.Itoa(r.MaxProcs), strconv.Itoa(r.InitProcs),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

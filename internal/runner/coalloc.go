@@ -1,0 +1,140 @@
+package runner
+
+import (
+	"fmt"
+
+	"repro/internal/app"
+	"repro/internal/gram"
+	"repro/internal/sim"
+)
+
+// CoComponent is one piece of a co-allocated job: a processor count at a
+// specific site's GRAM service.
+type CoComponent struct {
+	Svc  *gram.Service
+	Size int
+}
+
+// CoRunner runs a co-allocated rigid job: one GRAM job per component, and a
+// single application execution spanning them all once every component is
+// active (KOALA's processor co-allocation, §IV-A). Inter-cluster
+// communication overhead is not modeled separately; it is assumed to be
+// folded into the application's runtime model, which is acceptable because
+// the paper's malleability experiments do not use co-allocation (§V-C).
+type CoRunner struct {
+	engine  *sim.Engine
+	profile *app.Profile
+	comps   []CoComponent
+	cb      Callbacks
+
+	jobs []*gram.Job
+	exec *app.Execution
+
+	started  bool
+	running  bool
+	finished bool
+}
+
+// NewCoRunner builds a co-allocating runner. The application executes at the
+// sum of the component sizes.
+func NewCoRunner(engine *sim.Engine, profile *app.Profile, comps []CoComponent, cb Callbacks) (*CoRunner, error) {
+	if err := profile.Validate(); err != nil {
+		return nil, err
+	}
+	if profile.Class == app.Malleable {
+		return nil, fmt.Errorf("runner: malleable jobs cannot be co-allocated (§V-C)")
+	}
+	if len(comps) == 0 {
+		return nil, fmt.Errorf("runner: co-allocation needs at least one component")
+	}
+	for i, c := range comps {
+		if c.Size <= 0 || c.Svc == nil {
+			return nil, fmt.Errorf("runner: invalid co-allocation component %d", i)
+		}
+	}
+	return &CoRunner{engine: engine, profile: profile, comps: comps, cb: cb}, nil
+}
+
+// TotalSize returns the summed component sizes.
+func (r *CoRunner) TotalSize() int {
+	total := 0
+	for _, c := range r.comps {
+		total += c.Size
+	}
+	return total
+}
+
+// Nodes implements Runner.
+func (r *CoRunner) Nodes() int {
+	total := 0
+	for _, j := range r.jobs {
+		if j.State() == gram.Active {
+			total += j.Nodes
+		}
+	}
+	return total
+}
+
+// Running implements Runner.
+func (r *CoRunner) Running() bool { return r.running }
+
+// Finished implements Runner.
+func (r *CoRunner) Finished() bool { return r.finished }
+
+// Execution exposes the spanning execution (nil before start).
+func (r *CoRunner) Execution() *app.Execution { return r.exec }
+
+// Start implements Runner.
+func (r *CoRunner) Start() error {
+	if r.started {
+		return fmt.Errorf("runner: co-allocated %s started twice", r.profile.Name)
+	}
+	r.started = true
+	remaining := len(r.comps)
+	for _, c := range r.comps {
+		j, err := c.Svc.Submit(c.Size, func(*gram.Job) {
+			remaining--
+			if remaining == 0 {
+				r.beginExecution()
+			}
+		})
+		if err != nil {
+			return err
+		}
+		r.jobs = append(r.jobs, j)
+	}
+	return nil
+}
+
+func (r *CoRunner) beginExecution() {
+	r.running = true
+	size := r.TotalSize()
+	r.exec = app.NewExecution(r.engine, &app.Profile{
+		Name:  r.profile.Name,
+		Class: r.profile.Class,
+		Model: r.profile.Model,
+		Min:   size,
+		Max:   size,
+	}, size, r.onAppFinished)
+	if r.cb.OnStarted != nil {
+		r.cb.OnStarted()
+	}
+}
+
+func (r *CoRunner) onAppFinished() {
+	r.running = false
+	r.finished = true
+	for _, j := range r.jobs {
+		if j.State() != gram.Released {
+			// Each component releases through its own site's GRAM.
+			for _, c := range r.comps {
+				if err := c.Svc.Release(j); err == nil {
+					break
+				}
+			}
+		}
+	}
+	if r.cb.OnFinished != nil {
+		r.cb.OnFinished()
+	}
+}

@@ -1,0 +1,113 @@
+package runner
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/app"
+	"repro/internal/cluster"
+	"repro/internal/gram"
+	"repro/internal/lrm"
+	"repro/internal/sim"
+)
+
+func coHarness(nodesPerSite ...int) (*sim.Engine, []*cluster.Cluster, []*gram.Service) {
+	e := sim.New()
+	var clusters []*cluster.Cluster
+	var svcs []*gram.Service
+	for i, n := range nodesPerSite {
+		c := cluster.New(string(rune('A'+i)), n)
+		clusters = append(clusters, c)
+		svcs = append(svcs, gram.New(e, lrm.New(e, c), gram.Config{SubmitLatency: 2, ReleaseLatency: 0.5}))
+	}
+	return e, clusters, svcs
+}
+
+func TestCoRunnerSpansComponents(t *testing.T) {
+	e, clusters, svcs := coHarness(16, 16)
+	prof := app.RigidProfile("co", app.GadgetModel(), 16)
+	var startAt, finishAt float64
+	r, err := NewCoRunner(e, prof, []CoComponent{
+		{Svc: svcs[0], Size: 8},
+		{Svc: svcs[1], Size: 8},
+	}, Callbacks{
+		OnStarted:  func() { startAt = e.Now() },
+		OnFinished: func() { finishAt = e.Now() },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.TotalSize() != 16 {
+		t.Fatalf("total = %d", r.TotalSize())
+	}
+	if err := r.Start(); err != nil {
+		t.Fatal(err)
+	}
+	e.RunUntil(10)
+	if !r.Running() || r.Nodes() != 16 {
+		t.Fatalf("running=%v nodes=%d", r.Running(), r.Nodes())
+	}
+	if clusters[0].Used() != 8 || clusters[1].Used() != 8 {
+		t.Fatal("components not spread over both clusters")
+	}
+	e.Run()
+	// Execution runs at the *total* size: T(16)=280 for GADGET.
+	if startAt != 2 || math.Abs(finishAt-(2+280)) > 1e-6 {
+		t.Fatalf("start=%g finish=%g", startAt, finishAt)
+	}
+	if clusters[0].Used() != 0 || clusters[1].Used() != 0 {
+		t.Fatal("nodes not released")
+	}
+	if !r.Finished() {
+		t.Fatal("not finished")
+	}
+}
+
+func TestCoRunnerWaitsForAllComponents(t *testing.T) {
+	// The second site's component queues behind a blocker: execution must
+	// not begin until every component is active.
+	e, clusters, svcs := coHarness(16, 8)
+	blocker, _ := svcs[1].Submit(8, nil)
+	e.RunUntil(5)
+	prof := app.RigidProfile("co", app.FTModel(), 12)
+	started := false
+	r, _ := NewCoRunner(e, prof, []CoComponent{
+		{Svc: svcs[0], Size: 4},
+		{Svc: svcs[1], Size: 8},
+	}, Callbacks{OnStarted: func() { started = true }})
+	r.Start()
+	e.RunUntil(50)
+	if started {
+		t.Fatal("execution began before all components were active")
+	}
+	svcs[1].Release(blocker)
+	e.RunUntil(100)
+	if !started {
+		t.Fatal("execution did not begin after the blocker left")
+	}
+	_ = clusters
+}
+
+func TestCoRunnerValidation(t *testing.T) {
+	e, _, svcs := coHarness(8)
+	if _, err := NewCoRunner(e, app.GadgetProfile(), []CoComponent{{Svc: svcs[0], Size: 2}}, Callbacks{}); err == nil {
+		t.Fatal("malleable profile should be rejected")
+	}
+	prof := app.RigidProfile("r", app.FTModel(), 4)
+	if _, err := NewCoRunner(e, prof, nil, Callbacks{}); err == nil {
+		t.Fatal("empty components should be rejected")
+	}
+	if _, err := NewCoRunner(e, prof, []CoComponent{{Svc: nil, Size: 2}}, Callbacks{}); err == nil {
+		t.Fatal("nil service should be rejected")
+	}
+	if _, err := NewCoRunner(e, prof, []CoComponent{{Svc: svcs[0], Size: 0}}, Callbacks{}); err == nil {
+		t.Fatal("zero size should be rejected")
+	}
+	r, _ := NewCoRunner(e, prof, []CoComponent{{Svc: svcs[0], Size: 4}}, Callbacks{})
+	if err := r.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Start(); err == nil {
+		t.Fatal("double start should fail")
+	}
+}

@@ -1,0 +1,79 @@
+package runner
+
+// This file implements the "initiative of change" extension sketched in
+// §II-C and §VIII of the paper: besides the scheduler, the *application*
+// may initiate grow requests (useful for irregular parallelism patterns),
+// and the scheduler may issue *voluntary* shrink requests that the
+// application is free to decline (§II-D). The paper lists both as future
+// work; they are implemented here behind the same MRunner protocol.
+
+// AppGrowHandler receives application-initiated grow requests. The
+// malleability manager implements it: given the requesting runner's job and
+// the amount, it returns how many processors the scheduler is willing to
+// hand over (0 declines the request). Application-initiated grows are
+// always voluntary for the scheduler (§VIII: how much effort the scheduler
+// spends accommodating them is a policy choice).
+type AppGrowHandler interface {
+	AppGrowRequest(site string, amount int) int
+}
+
+// SetAppGrowHandler installs the scheduler-side handler for
+// application-initiated grow requests.
+func (r *MRunner) SetAppGrowHandler(h AppGrowHandler) { r.appGrow = h }
+
+// AppRequestGrow is called from the application side (the DYNACO decide
+// component reacting to the computation needing more processors, §II-C).
+// It returns how many processors the application actually obtained: the
+// scheduler may grant less than asked, and the application's own
+// constraints apply on top.
+func (r *MRunner) AppRequestGrow(amount int) int {
+	if !r.running || r.finished || amount <= 0 || r.appGrow == nil {
+		return 0
+	}
+	granted := r.appGrow.AppGrowRequest(r.Site(), amount)
+	if granted <= 0 {
+		return 0
+	}
+	if granted > amount {
+		granted = amount
+	}
+	return r.RequestGrow(granted)
+}
+
+// VoluntaryShrinkPolicy decides, on the application's behalf, how many of
+// the requested processors to give back when the scheduler asks *politely*
+// (a voluntary change, §II-D). progress is the completed fraction in [0,1].
+// The default declines once the application is past halfway — late in the
+// run the remaining work no longer amortises the reconfiguration cost.
+type VoluntaryShrinkPolicy func(progress float64, current, request int) int
+
+// DefaultVoluntaryShrinkPolicy accepts voluntary shrinks during the first
+// half of the execution and declines afterwards.
+func DefaultVoluntaryShrinkPolicy(progress float64, current, request int) int {
+	if progress >= 0.5 {
+		return 0
+	}
+	return request
+}
+
+// RequestVoluntaryShrink delivers a voluntary shrink request: the
+// application may satisfy it partially or not at all ("it is merely a
+// guideline", §II-D). It returns the number of processors the application
+// agreed to release; the release itself proceeds like a mandatory shrink.
+func (r *MRunner) RequestVoluntaryShrink(request int) int {
+	if !r.running || r.finished || request <= 0 || r.exec == nil {
+		return 0
+	}
+	policy := r.cfg.VoluntaryShrink
+	if policy == nil {
+		policy = DefaultVoluntaryShrinkPolicy
+	}
+	willing := policy(r.exec.Progress(), r.planned, request)
+	if willing <= 0 {
+		return 0
+	}
+	if willing > request {
+		willing = request
+	}
+	return r.RequestShrink(willing)
+}

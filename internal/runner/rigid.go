@@ -1,0 +1,102 @@
+package runner
+
+import (
+	"fmt"
+
+	"repro/internal/app"
+	"repro/internal/gram"
+	"repro/internal/sim"
+)
+
+// RigidRunner runs a rigid (or moldable, once its size is fixed) job: one
+// GRAM job of the full size, executed at a constant processor count. It
+// corresponds to KOALA's ordinary runners (PRunner/CRunner in Fig. 1), which
+// need no malleability machinery.
+type RigidRunner struct {
+	engine  *sim.Engine
+	svc     *gram.Service
+	profile *app.Profile
+	size    int
+	cb      Callbacks
+
+	job  *gram.Job
+	exec *app.Execution
+
+	started  bool
+	running  bool
+	finished bool
+}
+
+// NewRigidRunner builds a runner executing profile at exactly size
+// processors. Moldable profiles may pick any size in their range; rigid
+// profiles must use their fixed size.
+func NewRigidRunner(engine *sim.Engine, svc *gram.Service, profile *app.Profile, size int, cb Callbacks) (*RigidRunner, error) {
+	if err := profile.Validate(); err != nil {
+		return nil, err
+	}
+	if profile.Class == app.Malleable {
+		return nil, fmt.Errorf("runner: RigidRunner cannot run malleable profile %s", profile.Name)
+	}
+	if size < profile.Min || size > profile.Max {
+		return nil, fmt.Errorf("runner: size %d outside [%d,%d] for %s", size, profile.Min, profile.Max, profile.Name)
+	}
+	return &RigidRunner{engine: engine, svc: svc, profile: profile, size: size, cb: cb}, nil
+}
+
+// Site returns the execution site name.
+func (r *RigidRunner) Site() string { return r.svc.SiteName() }
+
+// Nodes implements Runner.
+func (r *RigidRunner) Nodes() int {
+	if r.job != nil && r.job.State() == gram.Active {
+		return r.size
+	}
+	return 0
+}
+
+// Running implements Runner.
+func (r *RigidRunner) Running() bool { return r.running }
+
+// Finished implements Runner.
+func (r *RigidRunner) Finished() bool { return r.finished }
+
+// Execution exposes the application execution (nil before start).
+func (r *RigidRunner) Execution() *app.Execution { return r.exec }
+
+// Start implements Runner.
+func (r *RigidRunner) Start() error {
+	if r.started {
+		return fmt.Errorf("runner: rigid %s started twice", r.profile.Name)
+	}
+	r.started = true
+	j, err := r.svc.Submit(r.size, func(*gram.Job) {
+		r.running = true
+		// Rigid execution needs a profile whose [Min,Max] admits r.size;
+		// pin it so the executor accepts the constant size.
+		exec := app.NewExecution(r.engine, &app.Profile{
+			Name:  r.profile.Name,
+			Class: r.profile.Class,
+			Model: r.profile.Model,
+			Min:   r.size,
+			Max:   r.size,
+		}, r.size, r.onAppFinished)
+		r.exec = exec
+		if r.cb.OnStarted != nil {
+			r.cb.OnStarted()
+		}
+	})
+	if err != nil {
+		return err
+	}
+	r.job = j
+	return nil
+}
+
+func (r *RigidRunner) onAppFinished() {
+	r.running = false
+	r.finished = true
+	r.svc.Release(r.job)
+	if r.cb.OnFinished != nil {
+		r.cb.OnFinished()
+	}
+}

@@ -1,0 +1,405 @@
+// Package runner reproduces KOALA's runners framework (§IV-A) and the
+// Malleable Runner of §V-A. Runners are the auxiliary tools that interface
+// applications of different types to the centralised scheduler: they submit
+// the actual GRAM jobs, monitor progress, and — for the MRunner — carry a
+// complete per-application DYNACO instance that translates the scheduler's
+// grow and shrink messages into GRAM submissions and releases.
+package runner
+
+import (
+	"fmt"
+
+	"repro/internal/app"
+	"repro/internal/dynaco"
+	"repro/internal/gram"
+	"repro/internal/sim"
+)
+
+// Callbacks connect a runner to the scheduler frontend. All callbacks are
+// optional.
+type Callbacks struct {
+	// OnStarted fires when the application begins executing.
+	OnStarted func()
+	// OnFinished fires when the application completed and all of its
+	// resources have been handed back to GRAM.
+	OnFinished func()
+	// OnGrowAck acknowledges a RequestGrow with the number of processors
+	// actually adopted (0 = declined). It fires once the new processors are
+	// recruited into the application.
+	OnGrowAck func(accepted int)
+	// OnShrinkAck acknowledges a RequestShrink with the number of
+	// processors the application released. It fires once the release is
+	// under way at GRAM (the nodes come back after the GRAM release
+	// latency).
+	OnShrinkAck func(released int)
+	// OnVoluntaryShrink notifies the scheduler that the application
+	// voluntarily gave back processors beyond what was requested (§V-A),
+	// e.g. stubs abandoned after an acquisition timeout.
+	OnVoluntaryShrink func(released int)
+}
+
+// Runner is the common behaviour of all runner kinds.
+type Runner interface {
+	// Start begins resource acquisition and, once ready, execution.
+	Start() error
+	// Nodes returns the number of processors currently held on behalf of
+	// the application (stubs included).
+	Nodes() int
+	// Running reports whether the application is currently executing.
+	Running() bool
+	// Finished reports whether the application has completed.
+	Finished() bool
+}
+
+// MRunnerConfig carries the MRunner's tunables.
+type MRunnerConfig struct {
+	// Costs are the application-side reconfiguration costs.
+	Costs app.ReconfigCosts
+	// AcquireTimeout bounds how long a grow waits for stubs to become
+	// active before proceeding with what is held (pending stubs are
+	// voluntarily abandoned). Zero disables the timeout.
+	AcquireTimeout float64
+	// VoluntaryShrink decides how the application answers voluntary shrink
+	// requests (§II-D); nil uses DefaultVoluntaryShrinkPolicy.
+	VoluntaryShrink VoluntaryShrinkPolicy
+}
+
+// DefaultMRunnerConfig returns sensible defaults. The acquisition timeout is
+// generous because acquiring many processors through GRAM's gatekeeper is
+// slow by design (one size-1 job per processor, §V-A).
+func DefaultMRunnerConfig() MRunnerConfig {
+	return MRunnerConfig{Costs: app.DefaultReconfigCosts(), AcquireTimeout: 300}
+}
+
+// MRunner is the Malleable Runner: it manages a malleable application as a
+// collection of GRAM jobs of size 1 (§V-A). Growth submits new size-1 stub
+// jobs, overlapping with execution; once all stubs are held they are
+// recruited into application processes. Shrinking first reclaims processors
+// from the application (safe point), then releases the corresponding GRAM
+// jobs.
+type MRunner struct {
+	engine  *sim.Engine
+	svc     *gram.Service
+	profile *app.Profile
+	cfg     MRunnerConfig
+	cb      Callbacks
+
+	initial int
+	stubs   []*gram.Job
+	exec    *app.Execution
+	fw      *dynaco.Framework
+
+	// planned is the processor count after all queued adaptations complete;
+	// the decide step of the protocol (§V-C: "get accepted number of
+	// processors from Job") is evaluated against it so that back-to-back
+	// offers within one management round compose correctly.
+	planned int
+
+	started  bool
+	running  bool
+	finished bool
+
+	appGrow AppGrowHandler
+
+	growMsgs   uint64
+	shrinkMsgs uint64
+}
+
+// NewMRunner builds an MRunner for one malleable application instance to be
+// executed at the given site, starting at initial processors.
+func NewMRunner(engine *sim.Engine, svc *gram.Service, profile *app.Profile, initial int, cfg MRunnerConfig, cb Callbacks) (*MRunner, error) {
+	if err := profile.Validate(); err != nil {
+		return nil, err
+	}
+	if profile.Class != app.Malleable {
+		return nil, fmt.Errorf("runner: MRunner requires a malleable profile, got %v", profile.Class)
+	}
+	if initial < profile.Min || initial > profile.Max {
+		return nil, fmt.Errorf("runner: initial size %d outside [%d,%d]", initial, profile.Min, profile.Max)
+	}
+	r := &MRunner{
+		engine:  engine,
+		svc:     svc,
+		profile: profile,
+		cfg:     cfg,
+		cb:      cb,
+		initial: initial,
+		planned: initial,
+	}
+	// The complete DYNACO instance embedded in the MRunner (§V-A). The
+	// decide step runs synchronously in RequestGrow/RequestShrink (it is
+	// the protocol reply to the scheduler), so the framework executes
+	// pre-decided events.
+	r.fw = dynaco.New(engine,
+		dynaco.PreDecided{},
+		(*mrunnerHandler)(r),
+		func() int {
+			if r.exec == nil {
+				return initial
+			}
+			return r.exec.Procs()
+		},
+		r.onAdaptation,
+	)
+	return r, nil
+}
+
+// Site returns the execution site name.
+func (r *MRunner) Site() string { return r.svc.SiteName() }
+
+// Profile returns the application profile.
+func (r *MRunner) Profile() *app.Profile { return r.profile }
+
+// Nodes implements Runner.
+func (r *MRunner) Nodes() int { return len(r.stubs) }
+
+// Running implements Runner.
+func (r *MRunner) Running() bool { return r.running }
+
+// Finished implements Runner.
+func (r *MRunner) Finished() bool { return r.finished }
+
+// Execution exposes the application execution (nil before start).
+func (r *MRunner) Execution() *app.Execution { return r.exec }
+
+// Stats returns the number of grow and shrink messages received.
+func (r *MRunner) Stats() (growMsgs, shrinkMsgs uint64) { return r.growMsgs, r.shrinkMsgs }
+
+// Start implements Runner: it submits the initial collection of size-1 GRAM
+// stub jobs; execution begins when all are active.
+func (r *MRunner) Start() error {
+	if r.started {
+		return fmt.Errorf("runner: %s started twice", r.profile.Name)
+	}
+	r.started = true
+	remaining := r.initial
+	for i := 0; i < r.initial; i++ {
+		j, err := r.svc.Submit(1, func(j *gram.Job) {
+			r.stubs = append(r.stubs, j)
+			remaining--
+			if remaining == 0 {
+				r.beginExecution()
+			}
+		})
+		if err != nil {
+			return fmt.Errorf("runner: initial submission failed: %w", err)
+		}
+		_ = j
+	}
+	return nil
+}
+
+func (r *MRunner) beginExecution() {
+	r.running = true
+	r.exec = app.NewExecution(r.engine, r.profile, r.initial, r.onAppFinished)
+	if r.cb.OnStarted != nil {
+		r.cb.OnStarted()
+	}
+}
+
+func (r *MRunner) onAppFinished() {
+	r.running = false
+	r.finished = true
+	for _, s := range r.stubs {
+		if s.State() != gram.Released {
+			r.svc.Release(s)
+		}
+	}
+	r.stubs = nil
+	if r.cb.OnFinished != nil {
+		r.cb.OnFinished()
+	}
+}
+
+// PlannedProcs returns the processor count the application will have once
+// all in-flight adaptations complete.
+func (r *MRunner) PlannedProcs() int { return r.planned }
+
+// RequestGrow delivers a scheduler grow offer to the application. The
+// returned value is the application's immediate protocol reply — how many of
+// the offered processors it accepts (the DYNACO decide step, e.g. FT's
+// power-of-two rule). The adaptation itself (stub submission, recruitment)
+// proceeds asynchronously; Callbacks.OnGrowAck fires on completion.
+func (r *MRunner) RequestGrow(offer int) int {
+	if !r.running || r.finished {
+		if r.cb.OnGrowAck != nil {
+			r.cb.OnGrowAck(0)
+		}
+		return 0
+	}
+	r.growMsgs++
+	accepted := r.profile.AcceptGrow(r.planned, offer)
+	if accepted <= 0 {
+		if r.cb.OnGrowAck != nil {
+			r.cb.OnGrowAck(0)
+		}
+		return 0
+	}
+	r.planned += accepted
+	r.fw.Notify(dynaco.Event{Kind: dynaco.GrowRequest, Amount: accepted})
+	return accepted
+}
+
+// RequestShrink delivers a mandatory shrink request. The returned value is
+// the number of processors the application agrees to release (possibly more
+// than requested when a structural constraint forces a bigger step, §VI-A).
+// Callbacks.OnShrinkAck fires once the release is under way.
+func (r *MRunner) RequestShrink(request int) int {
+	if !r.running || r.finished {
+		if r.cb.OnShrinkAck != nil {
+			r.cb.OnShrinkAck(0)
+		}
+		return 0
+	}
+	r.shrinkMsgs++
+	released := r.profile.AcceptShrink(r.planned, request)
+	if released <= 0 {
+		if r.cb.OnShrinkAck != nil {
+			r.cb.OnShrinkAck(0)
+		}
+		return 0
+	}
+	r.planned -= released
+	r.fw.Notify(dynaco.Event{Kind: dynaco.ShrinkRequest, Amount: released})
+	return released
+}
+
+func (r *MRunner) onAdaptation(res dynaco.Result) {
+	switch res.Event.Kind {
+	case dynaco.GrowRequest:
+		// The environment may have delivered fewer processors than the
+		// application accepted (acquisition timeout): reconcile the plan.
+		if res.Accepted < res.Event.Amount {
+			r.planned -= res.Event.Amount - res.Accepted
+		}
+		if r.cb.OnGrowAck != nil {
+			r.cb.OnGrowAck(res.Accepted)
+		}
+	case dynaco.ShrinkRequest:
+		if r.cb.OnShrinkAck != nil {
+			r.cb.OnShrinkAck(res.Accepted)
+		}
+	}
+}
+
+// mrunnerHandler implements dynaco.Handler on the MRunner. It is a separate
+// named type so the Handler methods do not pollute MRunner's public API.
+type mrunnerHandler MRunner
+
+// Acquire submits n size-1 stubs and reports once all are active (or the
+// acquisition timeout expires, in which case pending stubs are abandoned —
+// a voluntary shrink from the scheduler's point of view).
+func (h *mrunnerHandler) Acquire(n int, done func(held int)) {
+	r := (*MRunner)(h)
+	var newStubs []*gram.Job
+	held := 0
+	finished := false
+	complete := func() {
+		if finished {
+			return
+		}
+		finished = true
+		done(held)
+	}
+	var timeout *sim.Event
+	if r.cfg.AcquireTimeout > 0 {
+		timeout = r.engine.After(r.cfg.AcquireTimeout, func() {
+			if finished {
+				return
+			}
+			abandoned := 0
+			for _, s := range newStubs {
+				if s.State() != gram.Active && s.State() != gram.Released {
+					r.svc.Release(s)
+					abandoned++
+				}
+			}
+			if abandoned > 0 && r.cb.OnVoluntaryShrink != nil {
+				r.cb.OnVoluntaryShrink(abandoned)
+			}
+			complete()
+		})
+	}
+	for i := 0; i < n; i++ {
+		j, err := r.svc.Submit(1, func(j *gram.Job) {
+			if finished || r.finished {
+				// Too late — the acquisition timed out, or the application
+				// itself already finished: give the node straight back.
+				r.svc.Release(j)
+				if r.cb.OnVoluntaryShrink != nil {
+					r.cb.OnVoluntaryShrink(1)
+				}
+				return
+			}
+			r.stubs = append(r.stubs, j)
+			held++
+			if held == n {
+				if timeout != nil {
+					timeout.Cancel()
+				}
+				complete()
+			}
+		})
+		if err != nil {
+			// Site refuses (should not happen for size-1 jobs): account the
+			// stub as never held.
+			n--
+			if held == n && n > 0 {
+				complete()
+			}
+			continue
+		}
+		newStubs = append(newStubs, j)
+	}
+	if n == 0 {
+		complete()
+	}
+}
+
+// Recruit turns held stubs into application processes: a short suspension
+// while processes are spawned and data is redistributed, then the
+// application computes at its new size.
+func (h *mrunnerHandler) Recruit(n int, done func()) {
+	r := (*MRunner)(h)
+	if !r.running || r.exec == nil || r.exec.Done() {
+		done()
+		return
+	}
+	target := r.exec.Procs() + n
+	if target > r.profile.Max {
+		target = r.profile.Max
+	}
+	r.exec.PauseFor(r.cfg.Costs.RecruitPause)
+	r.exec.SetProcs(target)
+	r.engine.After(r.cfg.Costs.RecruitPause, done)
+}
+
+// Release waits for the application to reach a safe point, removes the
+// processes, pauses briefly for data redistribution, and releases the
+// corresponding GRAM jobs.
+func (h *mrunnerHandler) Release(n int, done func()) {
+	r := (*MRunner)(h)
+	if !r.running || r.exec == nil || r.exec.Done() {
+		done()
+		return
+	}
+	r.engine.After(r.cfg.Costs.SafePointDelay, func() {
+		if !r.running || r.exec == nil || r.exec.Done() {
+			done()
+			return
+		}
+		target := r.exec.Procs() - n
+		if target < r.profile.Min {
+			target = r.profile.Min
+		}
+		release := r.exec.Procs() - target
+		r.exec.SetProcs(target)
+		r.exec.PauseFor(r.cfg.Costs.RedistributePause)
+		for i := 0; i < release && len(r.stubs) > 0; i++ {
+			last := r.stubs[len(r.stubs)-1]
+			r.stubs = r.stubs[:len(r.stubs)-1]
+			r.svc.Release(last)
+		}
+		done()
+	})
+}

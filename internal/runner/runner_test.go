@@ -1,0 +1,294 @@
+package runner
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/app"
+	"repro/internal/cluster"
+	"repro/internal/gram"
+	"repro/internal/lrm"
+	"repro/internal/sim"
+)
+
+type harness struct {
+	engine *sim.Engine
+	clus   *cluster.Cluster
+	svc    *gram.Service
+}
+
+func newHarness(nodes int) *harness {
+	e := sim.New()
+	c := cluster.New("site", nodes)
+	return &harness{engine: e, clus: c, svc: gram.New(e, lrm.New(e, c), gram.Config{SubmitLatency: 5, ReleaseLatency: 0.5})}
+}
+
+func zeroCosts() MRunnerConfig {
+	return MRunnerConfig{Costs: app.ReconfigCosts{}, AcquireTimeout: 0}
+}
+
+func TestMRunnerLifecycle(t *testing.T) {
+	h := newHarness(48)
+	started, finished := false, false
+	var startAt, finishAt float64
+	r, err := NewMRunner(h.engine, h.svc, app.GadgetProfile(), 2, zeroCosts(), Callbacks{
+		OnStarted:  func() { started = true; startAt = h.engine.Now() },
+		OnFinished: func() { finished = true; finishAt = h.engine.Now() },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Start(); err != nil {
+		t.Fatal(err)
+	}
+	h.engine.Run()
+	if !started || !finished {
+		t.Fatalf("started=%v finished=%v", started, finished)
+	}
+	// Submission latency 5, then T(2)=600.
+	if startAt != 5 || math.Abs(finishAt-605) > 1e-6 {
+		t.Fatalf("startAt=%g finishAt=%g", startAt, finishAt)
+	}
+	// Nodes drain after GRAM release latency.
+	if h.clus.Used() != 0 {
+		t.Fatalf("used=%d at the end", h.clus.Used())
+	}
+	if !r.Finished() || r.Running() || r.Nodes() != 0 {
+		t.Fatalf("final state: finished=%v running=%v nodes=%d", r.Finished(), r.Running(), r.Nodes())
+	}
+}
+
+func TestMRunnerGrow(t *testing.T) {
+	h := newHarness(48)
+	var acks []int
+	var finishAt float64
+	r, _ := NewMRunner(h.engine, h.svc, app.GadgetProfile(), 2, zeroCosts(), Callbacks{
+		OnGrowAck:  func(n int) { acks = append(acks, n) },
+		OnFinished: func() { finishAt = h.engine.Now() },
+	})
+	r.Start()
+	// At t=305 (300 s of execution → half done) offer 44 more processors.
+	h.engine.At(305, func() { r.RequestGrow(44) })
+	h.engine.Run()
+	if len(acks) != 1 || acks[0] != 44 {
+		t.Fatalf("acks = %v", acks)
+	}
+	// Stub submission takes 5 s (overlapped), so the rate switches at 310:
+	// progress 305/600 at old rate... execution started at t=5, so by t=310
+	// progress is 305/600. Remaining 295/600 at T(46)=240 → 118 s → 428.
+	want := 310 + (1-305.0/600)*240
+	if math.Abs(finishAt-want) > 1e-6 {
+		t.Fatalf("finishAt = %g, want %g", finishAt, want)
+	}
+	g, s := r.Stats()
+	if g != 1 || s != 0 {
+		t.Fatalf("stats = %d/%d", g, s)
+	}
+}
+
+func TestMRunnerGrowRespectsFTPow2(t *testing.T) {
+	h := newHarness(48)
+	var acks []int
+	r, _ := NewMRunner(h.engine, h.svc, app.FTProfile(), 2, zeroCosts(), Callbacks{
+		OnGrowAck: func(n int) { acks = append(acks, n) },
+	})
+	r.Start()
+	h.engine.At(20, func() { r.RequestGrow(5) }) // 2+5=7 → FT accepts 2 (→4)
+	h.engine.Run()
+	if len(acks) != 1 || acks[0] != 2 {
+		t.Fatalf("acks = %v", acks)
+	}
+}
+
+func TestMRunnerShrink(t *testing.T) {
+	h := newHarness(48)
+	var acks []int
+	var finishAt float64
+	r, _ := NewMRunner(h.engine, h.svc, app.GadgetProfile(), 46, zeroCosts(), Callbacks{
+		OnShrinkAck: func(n int) { acks = append(acks, n) },
+		OnFinished:  func() { finishAt = h.engine.Now() },
+	})
+	r.Start()
+	// Execution starts at t=5 with T(46)=240. At t=125 progress is 0.5.
+	h.engine.At(125, func() { r.RequestShrink(44) })
+	h.engine.Run()
+	if len(acks) != 1 || acks[0] != 44 {
+		t.Fatalf("acks = %v", acks)
+	}
+	// Remaining half at T(2)=600 → 300 s → finish at 425.
+	if math.Abs(finishAt-425) > 1e-6 {
+		t.Fatalf("finishAt = %g, want 425", finishAt)
+	}
+	// The released nodes return to the pool (after GRAM release latency).
+	h2 := h.clus.Used()
+	if h2 != 0 {
+		t.Fatalf("used = %d at end", h2)
+	}
+}
+
+func TestMRunnerShrinkFreesNodesDuringRun(t *testing.T) {
+	h := newHarness(48)
+	r, _ := NewMRunner(h.engine, h.svc, app.GadgetProfile(), 46, zeroCosts(), Callbacks{})
+	r.Start()
+	h.engine.At(100, func() { r.RequestShrink(20) })
+	h.engine.RunUntil(110)
+	if used := h.clus.Used(); used != 26 {
+		t.Fatalf("used = %d mid-run, want 26", used)
+	}
+	if r.Nodes() != 26 {
+		t.Fatalf("runner holds %d stubs, want 26", r.Nodes())
+	}
+}
+
+func TestMRunnerGrowShrinkSequence(t *testing.T) {
+	h := newHarness(48)
+	r, _ := NewMRunner(h.engine, h.svc, app.GadgetProfile(), 2, zeroCosts(), Callbacks{})
+	r.Start()
+	h.engine.At(50, func() { r.RequestGrow(10) })
+	h.engine.At(100, func() { r.RequestShrink(5) })
+	h.engine.RunUntil(150)
+	if r.Execution().Procs() != 7 {
+		t.Fatalf("procs = %d, want 7", r.Execution().Procs())
+	}
+	g, s := r.Stats()
+	if g != 1 || s != 1 {
+		t.Fatalf("stats = %d/%d", g, s)
+	}
+}
+
+func TestMRunnerReconfigCostsDelayCompletion(t *testing.T) {
+	costsCfg := MRunnerConfig{Costs: app.ReconfigCosts{RecruitPause: 10}, AcquireTimeout: 0}
+	base := func(cfg MRunnerConfig) float64 {
+		h := newHarness(48)
+		var finishAt float64
+		r, _ := NewMRunner(h.engine, h.svc, app.GadgetProfile(), 2, cfg, Callbacks{
+			OnFinished: func() { finishAt = h.engine.Now() },
+		})
+		r.Start()
+		h.engine.At(50, func() { r.RequestGrow(44) })
+		h.engine.Run()
+		return finishAt
+	}
+	free := base(zeroCosts())
+	costly := base(costsCfg)
+	if costly <= free {
+		t.Fatalf("recruit pause did not delay completion: %g vs %g", costly, free)
+	}
+	if math.Abs((costly-free)-10) > 1e-6 {
+		t.Fatalf("delay = %g, want 10", costly-free)
+	}
+}
+
+func TestMRunnerGrowAfterFinishAcksZero(t *testing.T) {
+	h := newHarness(48)
+	var acks []int
+	r, _ := NewMRunner(h.engine, h.svc, app.GadgetProfile(), 46, zeroCosts(), Callbacks{
+		OnGrowAck: func(n int) { acks = append(acks, n) },
+	})
+	r.Start()
+	h.engine.At(1000, func() { r.RequestGrow(10) }) // long finished
+	h.engine.Run()
+	if len(acks) != 1 || acks[0] != 0 {
+		t.Fatalf("acks = %v", acks)
+	}
+}
+
+func TestMRunnerValidation(t *testing.T) {
+	h := newHarness(8)
+	if _, err := NewMRunner(h.engine, h.svc, app.RigidProfile("r", app.FTModel(), 2), 2, zeroCosts(), Callbacks{}); err == nil {
+		t.Fatal("rigid profile should be rejected")
+	}
+	if _, err := NewMRunner(h.engine, h.svc, app.GadgetProfile(), 1, zeroCosts(), Callbacks{}); err == nil {
+		t.Fatal("size below min should be rejected")
+	}
+	r, _ := NewMRunner(h.engine, h.svc, app.GadgetProfile(), 2, zeroCosts(), Callbacks{})
+	if err := r.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Start(); err == nil {
+		t.Fatal("double start should fail")
+	}
+}
+
+func TestMRunnerAcquireTimeoutAbandonsPendingStubs(t *testing.T) {
+	// Cluster of 4: the app starts at 2; a grow of 2 more can only get 2…
+	// but background seizes them first so stubs stay pending. With a
+	// timeout the grow completes with 0 held and the pending stubs are
+	// abandoned (voluntary shrink).
+	h := newHarness(4)
+	var acks, voluntary []int
+	cfg := MRunnerConfig{Costs: app.ReconfigCosts{}, AcquireTimeout: 30}
+	r, _ := NewMRunner(h.engine, h.svc, app.GadgetProfile(), 2, cfg, Callbacks{
+		OnGrowAck:         func(n int) { acks = append(acks, n) },
+		OnVoluntaryShrink: func(n int) { voluntary = append(voluntary, n) },
+	})
+	r.Start()
+	h.engine.At(10, func() { h.clus.SeizeBackground(2) })
+	h.engine.At(20, func() { r.RequestGrow(2) })
+	h.engine.RunUntil(120)
+	if len(acks) != 1 || acks[0] != 0 {
+		t.Fatalf("acks = %v, want [0]", acks)
+	}
+	if len(voluntary) != 1 || voluntary[0] != 2 {
+		t.Fatalf("voluntary = %v, want [2]", voluntary)
+	}
+	if r.Execution().Procs() != 2 {
+		t.Fatalf("procs = %d, want 2", r.Execution().Procs())
+	}
+}
+
+func TestRigidRunnerLifecycle(t *testing.T) {
+	h := newHarness(8)
+	var startAt, finishAt float64
+	prof := app.RigidProfile("FT-rigid", app.FTModel(), 2)
+	r, err := NewRigidRunner(h.engine, h.svc, prof, 2, Callbacks{
+		OnStarted:  func() { startAt = h.engine.Now() },
+		OnFinished: func() { finishAt = h.engine.Now() },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Start(); err != nil {
+		t.Fatal(err)
+	}
+	h.engine.Run()
+	if startAt != 5 {
+		t.Fatalf("startAt = %g", startAt)
+	}
+	if math.Abs(finishAt-125) > 1e-6 { // 5 + T(2)=120
+		t.Fatalf("finishAt = %g, want 125", finishAt)
+	}
+	if h.clus.Used() != 0 || !r.Finished() {
+		t.Fatalf("used=%d finished=%v", h.clus.Used(), r.Finished())
+	}
+}
+
+func TestRigidRunnerValidation(t *testing.T) {
+	h := newHarness(8)
+	if _, err := NewRigidRunner(h.engine, h.svc, app.GadgetProfile(), 4, Callbacks{}); err == nil {
+		t.Fatal("malleable profile should be rejected")
+	}
+	prof := app.MoldableProfile("m", app.FTModel(), 2, 8)
+	if _, err := NewRigidRunner(h.engine, h.svc, prof, 16, Callbacks{}); err == nil {
+		t.Fatal("size beyond max should be rejected")
+	}
+	r, _ := NewRigidRunner(h.engine, h.svc, prof, 4, Callbacks{})
+	if r.Nodes() != 0 {
+		t.Fatal("nodes before start should be 0")
+	}
+	r.Start()
+	if err := r.Start(); err == nil {
+		t.Fatal("double start should fail")
+	}
+	h.engine.RunUntil(10)
+	if r.Nodes() != 4 || !r.Running() {
+		t.Fatalf("nodes=%d running=%v", r.Nodes(), r.Running())
+	}
+}
+
+func TestDefaultMRunnerConfig(t *testing.T) {
+	cfg := DefaultMRunnerConfig()
+	if cfg.AcquireTimeout <= 0 || cfg.Costs.RecruitPause <= 0 {
+		t.Fatalf("defaults not positive: %+v", cfg)
+	}
+}

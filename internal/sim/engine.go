@@ -1,0 +1,177 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// The kernel is the substrate on which the whole multicluster reproduction
+// runs: clusters, local resource managers, the GRAM service, applications and
+// the KOALA scheduler all advance by scheduling events on a shared Engine.
+//
+// Determinism is guaranteed by (a) a binary-heap event queue ordered by
+// (time, insertion sequence) so simultaneous events fire in scheduling order,
+// and (b) the SplitMix64-based RNG in rng.go, seeded explicitly by every
+// experiment.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Event is a scheduled callback. It is returned by the scheduling methods so
+// that callers may cancel it before it fires.
+type Event struct {
+	time     float64
+	seq      uint64
+	index    int // heap index, -1 when not queued
+	fn       func()
+	canceled bool
+}
+
+// Time returns the virtual time at which the event fires.
+func (e *Event) Time() float64 { return e.time }
+
+// Canceled reports whether Cancel was called on the event.
+func (e *Event) Canceled() bool { return e.canceled }
+
+// Cancel prevents the event from firing. Canceling an already-fired or
+// already-canceled event is a no-op.
+func (e *Event) Cancel() { e.canceled = true }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a single-threaded discrete-event simulation engine. The zero
+// value is ready to use and starts at virtual time 0.
+//
+// Engine is not safe for concurrent use; the simulated world is entirely
+// sequential, which is what makes runs reproducible.
+type Engine struct {
+	now     float64
+	seq     uint64
+	queue   eventHeap
+	stopped bool
+	fired   uint64
+}
+
+// New returns an Engine starting at virtual time 0.
+func New() *Engine { return &Engine{} }
+
+// Now returns the current virtual time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// Fired returns the number of events executed so far (useful in tests and
+// benchmarks as a proxy for simulation work).
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending returns the number of events currently queued (including canceled
+// events that have not yet been discarded).
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// panics: it would silently reorder causality, which is always a bug in the
+// calling model.
+func (e *Engine) At(t float64, fn func()) *Event {
+	if math.IsNaN(t) {
+		panic("sim: scheduling event at NaN time")
+	}
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event in the past: t=%g now=%g", t, e.now))
+	}
+	ev := &Event{time: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After schedules fn to run delay seconds from now. Negative delays panic.
+func (e *Engine) After(delay float64, fn func()) *Event {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %g", delay))
+	}
+	return e.At(e.now+delay, fn)
+}
+
+// Immediately schedules fn at the current time, after all events already
+// scheduled for this instant.
+func (e *Engine) Immediately(fn func()) *Event { return e.At(e.now, fn) }
+
+// Stop halts Run/RunUntil after the currently executing event returns.
+func (e *Engine) Stop() { e.stopped = true }
+
+// step fires the earliest pending event. It reports false when the queue is
+// empty.
+func (e *Engine) step() bool {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*Event)
+		if ev.canceled {
+			continue
+		}
+		if ev.time < e.now {
+			panic("sim: event heap returned an event from the past")
+		}
+		e.now = ev.time
+		e.fired++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is empty or Stop is called. It returns
+// the final virtual time.
+func (e *Engine) Run() float64 {
+	e.stopped = false
+	for !e.stopped && e.step() {
+	}
+	return e.now
+}
+
+// RunUntil executes events with time ≤ horizon, then advances the clock to
+// horizon (if the simulation has not already passed it) and returns. Events
+// scheduled beyond horizon remain queued.
+func (e *Engine) RunUntil(horizon float64) float64 {
+	e.stopped = false
+	for !e.stopped {
+		// Peek: drop canceled heads so the horizon check sees a live event.
+		for len(e.queue) > 0 && e.queue[0].canceled {
+			heap.Pop(&e.queue)
+		}
+		if len(e.queue) == 0 || e.queue[0].time > horizon {
+			break
+		}
+		e.step()
+	}
+	if e.now < horizon {
+		e.now = horizon
+	}
+	return e.now
+}

@@ -1,0 +1,285 @@
+package sim
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineStartsAtZero(t *testing.T) {
+	e := New()
+	if e.Now() != 0 {
+		t.Fatalf("Now() = %g, want 0", e.Now())
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending() = %d, want 0", e.Pending())
+	}
+}
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	e := New()
+	var order []float64
+	for _, tm := range []float64{5, 1, 3, 2, 4} {
+		tm := tm
+		e.At(tm, func() { order = append(order, tm) })
+	}
+	e.Run()
+	if !sort.Float64sAreSorted(order) {
+		t.Fatalf("events fired out of order: %v", order)
+	}
+	if len(order) != 5 {
+		t.Fatalf("fired %d events, want 5", len(order))
+	}
+	if e.Now() != 5 {
+		t.Fatalf("final time %g, want 5", e.Now())
+	}
+}
+
+func TestSimultaneousEventsFireInScheduleOrder(t *testing.T) {
+	e := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(7, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("simultaneous events reordered: %v", order)
+		}
+	}
+}
+
+func TestAfterSchedulesRelative(t *testing.T) {
+	e := New()
+	var at float64 = -1
+	e.At(10, func() {
+		e.After(5, func() { at = e.Now() })
+	})
+	e.Run()
+	if at != 15 {
+		t.Fatalf("After fired at %g, want 15", at)
+	}
+}
+
+func TestImmediatelyRunsAtCurrentTimeAfterPending(t *testing.T) {
+	e := New()
+	var order []string
+	e.At(3, func() {
+		e.Immediately(func() { order = append(order, "imm") })
+	})
+	e.At(3, func() { order = append(order, "second-at-3") })
+	e.Run()
+	want := []string{"second-at-3", "imm"}
+	if len(order) != 2 || order[0] != want[0] || order[1] != want[1] {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+}
+
+func TestCancelPreventsFiring(t *testing.T) {
+	e := New()
+	fired := false
+	ev := e.At(1, func() { fired = true })
+	ev.Cancel()
+	e.Run()
+	if fired {
+		t.Fatal("canceled event fired")
+	}
+	if !ev.Canceled() {
+		t.Fatal("Canceled() = false after Cancel")
+	}
+}
+
+func TestCancelIsIdempotent(t *testing.T) {
+	e := New()
+	ev := e.At(1, func() {})
+	ev.Cancel()
+	ev.Cancel()
+	e.Run()
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	e := New()
+	e.At(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.At(5, func() {})
+	})
+	e.Run()
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	e := New()
+	defer func() {
+		if recover() == nil {
+			t.Error("negative delay did not panic")
+		}
+	}()
+	e.After(-1, func() {})
+}
+
+func TestNaNTimePanics(t *testing.T) {
+	e := New()
+	defer func() {
+		if recover() == nil {
+			t.Error("NaN time did not panic")
+		}
+	}()
+	e.At(math.NaN(), func() {})
+}
+
+func TestStopHaltsRun(t *testing.T) {
+	e := New()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		e.At(float64(i), func() {
+			count++
+			if count == 3 {
+				e.Stop()
+			}
+		})
+	}
+	e.Run()
+	if count != 3 {
+		t.Fatalf("fired %d events after Stop, want 3", count)
+	}
+	// Run can be resumed.
+	e.Run()
+	if count != 10 {
+		t.Fatalf("fired %d events total, want 10", count)
+	}
+}
+
+func TestRunUntilRespectsHorizon(t *testing.T) {
+	e := New()
+	var fired []float64
+	for _, tm := range []float64{1, 2, 3, 4, 5} {
+		tm := tm
+		e.At(tm, func() { fired = append(fired, tm) })
+	}
+	e.RunUntil(3)
+	if len(fired) != 3 {
+		t.Fatalf("fired %d events, want 3: %v", len(fired), fired)
+	}
+	if e.Now() != 3 {
+		t.Fatalf("Now() = %g, want 3", e.Now())
+	}
+	e.RunUntil(10)
+	if len(fired) != 5 {
+		t.Fatalf("fired %d events, want 5", len(fired))
+	}
+	if e.Now() != 10 {
+		t.Fatalf("Now() = %g, want 10 (clock advances to horizon)", e.Now())
+	}
+}
+
+func TestRunUntilWithOnlyCanceledEvents(t *testing.T) {
+	e := New()
+	ev := e.At(2, func() {})
+	ev.Cancel()
+	e.RunUntil(5)
+	if e.Now() != 5 {
+		t.Fatalf("Now() = %g, want 5", e.Now())
+	}
+}
+
+func TestEventsScheduledDuringRun(t *testing.T) {
+	e := New()
+	depth := 0
+	var schedule func()
+	schedule = func() {
+		depth++
+		if depth < 100 {
+			e.After(1, schedule)
+		}
+	}
+	e.After(1, schedule)
+	e.Run()
+	if depth != 100 {
+		t.Fatalf("chained depth = %d, want 100", depth)
+	}
+	if e.Now() != 100 {
+		t.Fatalf("Now() = %g, want 100", e.Now())
+	}
+}
+
+func TestFiredCounter(t *testing.T) {
+	e := New()
+	for i := 0; i < 7; i++ {
+		e.At(float64(i), func() {})
+	}
+	e.Run()
+	if e.Fired() != 7 {
+		t.Fatalf("Fired() = %d, want 7", e.Fired())
+	}
+}
+
+// Property: for any set of event times, the firing order is a non-decreasing
+// sequence and every non-canceled event fires exactly once.
+func TestPropertyEventOrdering(t *testing.T) {
+	f := func(raw []uint16) bool {
+		e := New()
+		var fired []float64
+		for _, r := range raw {
+			tm := float64(r)
+			e.At(tm, func() { fired = append(fired, tm) })
+		}
+		e.Run()
+		if len(fired) != len(raw) {
+			return false
+		}
+		return sort.Float64sAreSorted(fired)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTickerFiresPeriodically(t *testing.T) {
+	e := New()
+	var times []float64
+	tk := NewTicker(e, 10, func() { times = append(times, e.Now()) })
+	e.At(35, func() { tk.Stop() })
+	e.Run()
+	want := []float64{10, 20, 30}
+	if len(times) != len(want) {
+		t.Fatalf("ticker fired at %v, want %v", times, want)
+	}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Fatalf("ticker fired at %v, want %v", times, want)
+		}
+	}
+	if !tk.Stopped() {
+		t.Fatal("Stopped() = false after Stop")
+	}
+}
+
+func TestTickerStopFromCallback(t *testing.T) {
+	e := New()
+	count := 0
+	var tk *Ticker
+	tk = NewTicker(e, 1, func() {
+		count++
+		if count == 5 {
+			tk.Stop()
+		}
+	})
+	e.RunUntil(100)
+	if count != 5 {
+		t.Fatalf("ticker fired %d times, want 5", count)
+	}
+}
+
+func TestTickerZeroPeriodPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero period did not panic")
+		}
+	}()
+	NewTicker(New(), 0, func() {})
+}

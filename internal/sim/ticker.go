@@ -1,0 +1,47 @@
+package sim
+
+// Ticker invokes a callback at a fixed virtual-time period until stopped.
+// It models the periodic polling loops of the paper (the KOALA scheduler
+// polling the information service, §V-B) without each component having to
+// reimplement reschedule-on-fire logic.
+type Ticker struct {
+	engine  *Engine
+	period  float64
+	fn      func()
+	next    *Event
+	stopped bool
+}
+
+// NewTicker starts a ticker firing fn every period seconds, with the first
+// fire one period from now. period must be positive.
+func NewTicker(e *Engine, period float64, fn func()) *Ticker {
+	if period <= 0 {
+		panic("sim: ticker period must be positive")
+	}
+	t := &Ticker{engine: e, period: period, fn: fn}
+	t.schedule()
+	return t
+}
+
+func (t *Ticker) schedule() {
+	t.next = t.engine.After(t.period, func() {
+		if t.stopped {
+			return
+		}
+		t.fn()
+		if !t.stopped {
+			t.schedule()
+		}
+	})
+}
+
+// Stop halts the ticker; the pending fire is canceled.
+func (t *Ticker) Stop() {
+	t.stopped = true
+	if t.next != nil {
+		t.next.Cancel()
+	}
+}
+
+// Stopped reports whether Stop has been called.
+func (t *Ticker) Stopped() bool { return t.stopped }

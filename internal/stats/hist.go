@@ -1,0 +1,78 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Histogram bins samples into fixed-width buckets over [lo, hi). Values
+// outside the range are clamped into the first/last bucket so no sample is
+// silently dropped.
+type Histogram struct {
+	lo, hi float64
+	bins   []int
+	n      int
+}
+
+// NewHistogram creates a histogram with the given number of equal-width bins
+// over [lo, hi). It panics on a degenerate range or non-positive bin count.
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if hi <= lo {
+		panic(fmt.Sprintf("stats: histogram range [%g,%g) is empty", lo, hi))
+	}
+	if bins <= 0 {
+		panic("stats: histogram needs at least one bin")
+	}
+	return &Histogram{lo: lo, hi: hi, bins: make([]int, bins)}
+}
+
+// Add records one sample.
+func (h *Histogram) Add(x float64) {
+	idx := int((x - h.lo) / (h.hi - h.lo) * float64(len(h.bins)))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(h.bins) {
+		idx = len(h.bins) - 1
+	}
+	h.bins[idx]++
+	h.n++
+}
+
+// N returns the number of recorded samples.
+func (h *Histogram) N() int { return h.n }
+
+// Bin returns the count of bin i.
+func (h *Histogram) Bin(i int) int { return h.bins[i] }
+
+// Bins returns the number of bins.
+func (h *Histogram) Bins() int { return len(h.bins) }
+
+// BinRange returns the [lo,hi) range covered by bin i.
+func (h *Histogram) BinRange(i int) (lo, hi float64) {
+	w := (h.hi - h.lo) / float64(len(h.bins))
+	return h.lo + float64(i)*w, h.lo + float64(i+1)*w
+}
+
+// Render returns a textual bar chart, one line per bin.
+func (h *Histogram) Render(width int) string {
+	if width <= 0 {
+		width = 40
+	}
+	maxCount := 0
+	for _, c := range h.bins {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	var b strings.Builder
+	for i, c := range h.bins {
+		lo, hi := h.BinRange(i)
+		bar := 0
+		if maxCount > 0 {
+			bar = c * width / maxCount
+		}
+		fmt.Fprintf(&b, "[%8.1f,%8.1f) %6d %s\n", lo, hi, c, strings.Repeat("#", bar))
+	}
+	return b.String()
+}

@@ -1,0 +1,139 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestMeanBasics(t *testing.T) {
+	if got := Mean(nil); got != 0 {
+		t.Fatalf("Mean(nil) = %g", got)
+	}
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Fatalf("Mean = %g, want 2.5", got)
+	}
+}
+
+func TestMinMaxSum(t *testing.T) {
+	xs := []float64{3, -1, 7, 2}
+	if Min(xs) != -1 {
+		t.Fatalf("Min = %g", Min(xs))
+	}
+	if Max(xs) != 7 {
+		t.Fatalf("Max = %g", Max(xs))
+	}
+	if Sum(xs) != 11 {
+		t.Fatalf("Sum = %g", Sum(xs))
+	}
+	if !math.IsInf(Min(nil), 1) || !math.IsInf(Max(nil), -1) {
+		t.Fatal("empty Min/Max sentinel wrong")
+	}
+}
+
+func TestVarianceAndStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Variance(xs); !almostEqual(got, 4, 1e-12) {
+		t.Fatalf("Variance = %g, want 4", got)
+	}
+	if got := StdDev(xs); !almostEqual(got, 2, 1e-12) {
+		t.Fatalf("StdDev = %g, want 2", got)
+	}
+	if Variance([]float64{5}) != 0 {
+		t.Fatal("single-sample variance should be 0")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {25, 2}, {50, 3}, {75, 4}, {100, 5}, {10, 1.4},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("Percentile(%g) = %g, want %g", c.p, got, c.want)
+		}
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Fatal("empty percentile should be 0")
+	}
+	if Percentile([]float64{9}, 75) != 9 {
+		t.Fatal("singleton percentile should be the element")
+	}
+}
+
+func TestPercentileOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Percentile(101) did not panic")
+		}
+	}()
+	Percentile([]float64{1}, 101)
+}
+
+func TestPercentileDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatalf("input mutated: %v", xs)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	if s.N != 10 || s.Mean != 5.5 || s.Min != 1 || s.Max != 10 {
+		t.Fatalf("bad summary: %+v", s)
+	}
+	if s.Median != 5.5 {
+		t.Fatalf("median = %g", s.Median)
+	}
+	if Summarize(nil).N != 0 {
+		t.Fatal("empty summary should be zero")
+	}
+	if Summarize([]float64{1, 2}).String() == "" {
+		t.Fatal("String should render")
+	}
+}
+
+// Property: for any sample and p, min ≤ Percentile(p) ≤ max.
+func TestPropertyPercentileBounded(t *testing.T) {
+	f := func(raw []int16, pRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r)
+		}
+		p := float64(pRaw) / 255 * 100
+		v := Percentile(xs, p)
+		return v >= Min(xs)-1e-9 && v <= Max(xs)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: percentiles are monotone in p.
+func TestPropertyPercentileMonotone(t *testing.T) {
+	f := func(raw []int16, aRaw, bRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r)
+		}
+		a := float64(aRaw) / 255 * 100
+		b := float64(bRaw) / 255 * 100
+		if a > b {
+			a, b = b, a
+		}
+		return Percentile(xs, a) <= Percentile(xs, b)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,96 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+)
+
+// BackgroundSpec parameterises the local-user background load of §V-B:
+// users who bypass KOALA and seize nodes directly at their cluster's local
+// resource manager. KOALA only discovers these through KIS polling.
+type BackgroundSpec struct {
+	// MeanInterArrival is the mean time between local sessions per cluster.
+	MeanInterArrival float64
+	// MeanDuration is the mean session length.
+	MeanDuration float64
+	// MaxNodes bounds the nodes one session grabs (uniform in [1,MaxNodes]).
+	MaxNodes int
+	// Seed drives the generator.
+	Seed uint64
+}
+
+// Validate checks the parameters.
+func (s *BackgroundSpec) Validate() error {
+	if s.MeanInterArrival <= 0 || s.MeanDuration <= 0 || s.MaxNodes <= 0 {
+		return fmt.Errorf("workload: background spec must be positive: %+v", s)
+	}
+	return nil
+}
+
+// BackgroundLoad drives local-user sessions on every cluster of the grid.
+type BackgroundLoad struct {
+	engine *sim.Engine
+	rng    *sim.RNG
+	spec   BackgroundSpec
+
+	sessions uint64
+	denied   uint64
+	stopped  bool
+}
+
+// StartBackground begins generating background sessions on all clusters.
+func StartBackground(engine *sim.Engine, grid *cluster.Multicluster, spec BackgroundSpec) (*BackgroundLoad, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	b := &BackgroundLoad{engine: engine, rng: sim.NewRNG(spec.Seed), spec: spec}
+	for _, c := range grid.Clusters() {
+		b.scheduleNext(c, b.rng.Split())
+	}
+	return b, nil
+}
+
+// Stop ends session generation (running sessions still terminate normally).
+func (b *BackgroundLoad) Stop() { b.stopped = true }
+
+// Sessions returns how many sessions started.
+func (b *BackgroundLoad) Sessions() uint64 { return b.sessions }
+
+// Denied returns how many sessions found no free nodes and gave up.
+func (b *BackgroundLoad) Denied() uint64 { return b.denied }
+
+func (b *BackgroundLoad) scheduleNext(c *cluster.Cluster, rng *sim.RNG) {
+	delay := rng.ExpFloat64() * b.spec.MeanInterArrival
+	b.engine.After(delay, func() {
+		if b.stopped {
+			return
+		}
+		b.runSession(c, rng)
+		b.scheduleNext(c, rng)
+	})
+}
+
+func (b *BackgroundLoad) runSession(c *cluster.Cluster, rng *sim.RNG) {
+	want := 1 + rng.Intn(b.spec.MaxNodes)
+	if want > c.Idle() {
+		want = c.Idle()
+	}
+	if want <= 0 {
+		b.denied++
+		return
+	}
+	if err := c.SeizeBackground(want); err != nil {
+		b.denied++
+		return
+	}
+	b.sessions++
+	duration := rng.ExpFloat64() * b.spec.MeanDuration
+	n := want
+	b.engine.After(duration, func() {
+		// Give the nodes back; the cluster accounting guarantees this
+		// cannot release more than is held.
+		c.ReleaseBackground(n)
+	})
+}

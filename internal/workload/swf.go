@@ -1,0 +1,96 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The trace format is a small SWF-inspired text format: comment lines start
+// with ';' (like SWF headers), data lines carry
+//
+//	<id> <submit-seconds> <app> <class> <size>
+//
+// with app ∈ {FT, GADGET2} and class ∈ {malleable, rigid}. It exists so
+// generated workloads can be saved, diffed and replayed by cmd/workloadgen.
+
+// WriteTrace serialises w to the trace format.
+func WriteTrace(w io.Writer, wl *Workload) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "; workload: %s\n", wl.Name)
+	fmt.Fprintf(bw, "; jobs: %d\n", len(wl.Items))
+	fmt.Fprintf(bw, "; fields: id submit app class size\n")
+	for _, it := range wl.Items {
+		class := "rigid"
+		if it.Malleable {
+			class = "malleable"
+		}
+		fmt.Fprintf(bw, "%s %.3f %s %s %d\n", it.ID, it.SubmitAt, it.App, class, it.Size)
+	}
+	return bw.Flush()
+}
+
+// ReadTrace parses a trace back into a workload. The name is taken from the
+// "; workload:" header when present.
+func ReadTrace(r io.Reader) (*Workload, error) {
+	sc := bufio.NewScanner(r)
+	wl := &Workload{Name: "trace"}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, ";") {
+			if rest, ok := strings.CutPrefix(line, "; workload:"); ok {
+				wl.Name = strings.TrimSpace(rest)
+			}
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 5 {
+			return nil, fmt.Errorf("workload: trace line %d has %d fields, want 5", lineNo, len(fields))
+		}
+		submit, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: trace line %d submit: %w", lineNo, err)
+		}
+		var kind AppKind
+		switch fields[2] {
+		case "FT":
+			kind = FT
+		case "GADGET2":
+			kind = Gadget
+		default:
+			return nil, fmt.Errorf("workload: trace line %d unknown app %q", lineNo, fields[2])
+		}
+		var malleable bool
+		switch fields[3] {
+		case "malleable":
+			malleable = true
+		case "rigid":
+			malleable = false
+		default:
+			return nil, fmt.Errorf("workload: trace line %d unknown class %q", lineNo, fields[3])
+		}
+		size, err := strconv.Atoi(fields[4])
+		if err != nil || size <= 0 {
+			return nil, fmt.Errorf("workload: trace line %d bad size %q", lineNo, fields[4])
+		}
+		wl.Items = append(wl.Items, Item{
+			ID: fields[0], SubmitAt: submit, App: kind, Malleable: malleable, Size: size,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for i := 1; i < len(wl.Items); i++ {
+		if wl.Items[i].SubmitAt < wl.Items[i-1].SubmitAt {
+			return nil, fmt.Errorf("workload: trace submissions out of order at %q", wl.Items[i].ID)
+		}
+	}
+	return wl, nil
+}
