@@ -1,0 +1,18 @@
+GO ?= go
+
+.PHONY: build test bench vet figures
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test: vet
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+
+figures: build
+	$(GO) run ./cmd/figures -runs 4

@@ -9,8 +9,10 @@
 package repro
 
 import (
+	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/app"
 	"repro/internal/experiment"
@@ -180,6 +182,35 @@ func BenchmarkFig8eUtilizationPWA(b *testing.B) {
 func BenchmarkFig8fOpsPWA(b *testing.B) {
 	pwaFigBench(b, func(s *experiment.Set) experiment.Figure { return s.FigOps("8f", 0, 12000, 200) },
 		(*experiment.Result).TotalOps, "ops")
+}
+
+// BenchmarkSweepParallelSpeedup measures the full Fig. 7 sweep (four PRA
+// combinations × four seeded replications each) executed serially and on
+// the bounded worker pool, and reports the wall-clock speedup as a custom
+// metric. On a 1-CPU machine the two are equivalent (speedup ≈ 1); with 4+
+// cores the pool should report ≥ 2×. The determinism tests in
+// internal/experiment pin that both modes produce identical results.
+func BenchmarkSweepParallelSpeedup(b *testing.B) {
+	runSweep := func(parallelism int) time.Duration {
+		base := experiment.Config{Runs: 4, Seed: 1, Parallelism: parallelism}
+		start := time.Now()
+		set, err := experiment.RunSet("PRA", experiment.PRACombos(), base)
+		if err != nil {
+			b.Fatal(err)
+		}
+		elapsed := time.Since(start)
+		if len(set.Labels) != 4 {
+			b.Fatalf("sweep produced %d combos, want 4", len(set.Labels))
+		}
+		return elapsed
+	}
+	var serial, pooled time.Duration
+	for i := 0; i < b.N; i++ {
+		serial += runSweep(1)
+		pooled += runSweep(0)
+	}
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "workers")
+	b.ReportMetric(serial.Seconds()/pooled.Seconds(), "speedup")
 }
 
 // BenchmarkEndToEndPRARun measures one complete full-scale PRA simulation

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	figures [-runs N] [-seed S] [-csv] [-only 7a,8f,...]
+//	figures [-runs N] [-parallel N] [-seed S] [-csv] [-only 7a,8f,...]
 //
 // Without -only, everything is produced in paper order. Output goes to
 // stdout; -csv switches from aligned columns to CSV.
@@ -20,6 +20,7 @@ import (
 
 func main() {
 	runs := flag.Int("runs", 4, "independent runs per combination (the paper uses 4)")
+	par := flag.Int("parallel", 0, "worker goroutines per sweep fan-out (0 = one per CPU, 1 = serial)")
 	seed := flag.Uint64("seed", 1, "base random seed")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned columns")
 	only := flag.String("only", "", "comma-separated subset (table1,6,7a..7f,8a..8f,summary)")
@@ -63,7 +64,7 @@ func main() {
 		}
 	}
 
-	base := experiment.Config{Runs: *runs, Seed: *seed}
+	base := experiment.Config{Runs: *runs, Parallelism: *par, Seed: *seed}
 
 	if needPRA {
 		set, err := experiment.RunSet("PRA", experiment.PRACombos(), base)

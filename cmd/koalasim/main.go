@@ -5,7 +5,7 @@
 //
 //	koalasim [-workload Wm|Wmr|W'm|W'mr] [-policy FPSMA|EGS|EQUI|FOLD]
 //	         [-approach PRA|PWA] [-placement WF|CF|CM|FCM]
-//	         [-runs N] [-seed S] [-reserve N] [-poll SEC]
+//	         [-runs N] [-parallel N] [-seed S] [-reserve N] [-poll SEC]
 //	         [-no-background] [-csv FILE]
 package main
 
@@ -26,6 +26,7 @@ func main() {
 	approach := flag.String("approach", "PRA", "job management approach: PRA or PWA")
 	placement := flag.String("placement", "WF", "placement policy: WF, CF, CM, FCM")
 	runs := flag.Int("runs", 1, "independent runs to pool")
+	par := flag.Int("parallel", 0, "worker goroutines for the runs (0 = one per CPU, 1 = serial)")
 	seed := flag.Uint64("seed", 1, "base random seed")
 	reserve := flag.Int("reserve", 0, "growth reserve per cluster for local users")
 	poll := flag.Float64("poll", 0, "scheduler poll interval in seconds (0 = default)")
@@ -44,6 +45,7 @@ func main() {
 		Approach:      *approach,
 		Placement:     *placement,
 		Runs:          *runs,
+		Parallelism:   *par,
 		Seed:          *seed,
 		PollInterval:  *poll,
 		GrowthReserve: *reserve,

@@ -6,6 +6,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/cluster"
@@ -13,6 +14,7 @@ import (
 	"repro/internal/gram"
 	"repro/internal/koala"
 	"repro/internal/metrics"
+	"repro/internal/parallel"
 	"repro/internal/runner"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -32,6 +34,13 @@ type Config struct {
 	Placement string
 	// Runs is the number of independent runs to pool (default 4).
 	Runs int
+	// Parallelism bounds the number of concurrently executing simulations:
+	// Run pools the independent seeded runs, and RunSet flattens all its
+	// (combo, replication) pairs into one pool of this size. 0 means one
+	// worker per CPU; 1 runs serially. Results are identical to serial
+	// execution for any value: each run owns its seed and its engine, and
+	// the pool writes into order-preserving slots.
+	Parallelism int
 	// Seed is the base seed; run i uses Seed+i.
 	Seed uint64
 	// PollInterval is the scheduler/manager polling period (default 5 s).
@@ -44,6 +53,9 @@ type Config struct {
 	// plus a generous drain window).
 	Horizon float64
 	// Grid overrides the testbed (default DAS-3); used by small tests.
+	// The closure runs once per replication, possibly from concurrent
+	// worker goroutines, so it must build a fresh Multicluster on every
+	// call — returning a shared cached instance would race.
 	Grid func() *cluster.Multicluster
 	// GramOverride replaces the default GRAM latency model (ablations).
 	GramOverride *gram.Config
@@ -232,19 +244,42 @@ func lastEnd(recs []metrics.JobRecord) float64 {
 	return end
 }
 
-// Run executes cfg.Runs seeded runs and pools their records.
+// Run executes cfg.Runs seeded runs and pools their records. The runs are
+// independent (run i is seeded Seed+i and builds its own engine), so they
+// execute on a bounded worker pool of cfg.Parallelism goroutines; the
+// pooled records are in the same order as a serial loop.
 func Run(cfg Config) (*Result, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext is Run with cancellation: a canceled ctx (or the first failing
+// run) stops the pool from dispatching further runs.
+func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
-	out := &Result{Config: cfg}
-	for i := 0; i < cfg.Runs; i++ {
+	runs := make([]*RunResult, cfg.Runs)
+	err := parallel.ForEach(ctx, cfg.Runs, cfg.Parallelism, func(_ context.Context, i int) error {
 		r, err := RunOnce(cfg, cfg.Seed+uint64(i))
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out.Runs = append(out.Runs, r)
+		runs[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return newResult(cfg, runs), nil
+}
+
+// newResult assembles a Result from completed runs, concatenating their
+// records into Pooled in run order (the paper's CDFs are computed over all
+// jobs of all runs of a combination).
+func newResult(cfg Config, runs []*RunResult) *Result {
+	out := &Result{Config: cfg, Runs: runs}
+	for _, r := range runs {
 		out.Pooled = append(out.Pooled, r.Records...)
 	}
-	return out, nil
+	return out
 }
 
 // MalleableRecords returns the pooled records restricted to malleable jobs

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -8,6 +9,7 @@ import (
 	"repro/internal/app"
 	"repro/internal/cluster"
 	"repro/internal/metrics"
+	"repro/internal/parallel"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
@@ -138,26 +140,60 @@ type Set struct {
 }
 
 // RunSet executes the four combos of an approach. Opts tweak the base
-// config (runs, seed, grid) for every combo.
+// config (runs, seed, grid, parallelism) for every combo.
 func RunSet(approach string, combos []Combo, base Config) (*Set, error) {
+	return RunSetContext(context.Background(), approach, combos, base)
+}
+
+// RunSetContext is RunSet with cancellation. Every (combo, replication)
+// pair is an independent simulation, so the whole sweep flattens into one
+// task space executed on a single bounded pool — base.Parallelism bounds
+// the *total* number of concurrent simulations, not workers per level.
+// The Labels order (and therefore every figure's series order) and each
+// combo's pooled record order match the serial loops exactly.
+func RunSetContext(ctx context.Context, approach string, combos []Combo, base Config) (*Set, error) {
 	if base.Background == nil && !base.NoBackground && approach == "PWA" {
 		// The PWA experiments ran under much heavier shared-testbed
 		// conditions (see PWABackground).
 		bg := PWABackground()
 		base.Background = &bg
 	}
-	set := &Set{Approach: approach, Results: make(map[string]*Result)}
-	for _, combo := range combos {
+	cfgs := make([]Config, len(combos))
+	for i, combo := range combos {
 		cfg := base
 		cfg.Approach = approach
 		cfg.Policy = combo.Policy
 		cfg.Workload = combo.Workload(base.Seed)
 		cfg.Name = fmt.Sprintf("%s/%s", approach, combo.Label)
-		res, err := Run(cfg)
-		if err != nil {
-			return nil, err
+		cfgs[i] = cfg.withDefaults()
+	}
+
+	type task struct{ combo, run int }
+	var tasks []task
+	runs := make([][]*RunResult, len(combos))
+	for c, cfg := range cfgs {
+		runs[c] = make([]*RunResult, cfg.Runs)
+		for r := 0; r < cfg.Runs; r++ {
+			tasks = append(tasks, task{combo: c, run: r})
 		}
-		set.Results[combo.Label] = res
+	}
+	err := parallel.ForEach(ctx, len(tasks), base.Parallelism, func(_ context.Context, i int) error {
+		t := tasks[i]
+		cfg := cfgs[t.combo]
+		r, err := RunOnce(cfg, cfg.Seed+uint64(t.run))
+		if err != nil {
+			return err
+		}
+		runs[t.combo][t.run] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	set := &Set{Approach: approach, Results: make(map[string]*Result)}
+	for c, combo := range combos {
+		set.Results[combo.Label] = newResult(cfgs[c], runs[c])
 		set.Labels = append(set.Labels, combo.Label)
 	}
 	return set, nil

@@ -1,0 +1,91 @@
+// Package parallel provides a small bounded worker pool for the
+// embarrassingly parallel fan-outs in the experiment layer: independent
+// seeded replications and independent sweep points. Each task owns an
+// order-preserving output slot chosen by its index, so the pooled output of
+// a parallel sweep is byte-identical to the serial order regardless of the
+// order in which workers finish.
+package parallel
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultWorkers is the worker count used when a caller passes a
+// non-positive parallelism: one worker per usable CPU.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// ForEach runs fn(ctx, i) for every i in [0, n) on a bounded pool of
+// workers goroutines (workers <= 0 means DefaultWorkers, workers == 1 runs
+// serially on the calling goroutine). fn must write its result into a slot
+// owned by index i (e.g. out[i] = ...); fn calls for distinct indices may
+// run concurrently, so they must not share mutable state.
+//
+// The first error cancels the shared context and stops the pool from
+// dispatching further indices; calls already in flight run to completion.
+// ForEach returns the error of the lowest failing index among those that
+// ran. If no task failed, it returns nil when all n completed, and the
+// parent context's error when a parent cancellation cut the pool short.
+func ForEach(ctx context.Context, n, workers int, fn func(ctx context.Context, i int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(ctx, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	parent := ctx
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	errs := make([]error, n)
+	var next, done atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || ctx.Err() != nil {
+					return
+				}
+				if err := fn(ctx, i); err != nil {
+					errs[i] = err
+					cancel()
+				} else {
+					done.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	if int(done.Load()) == n {
+		// Every task completed: like the serial path, a parent cancellation
+		// that raced the finish does not discard the finished work.
+		return nil
+	}
+	return parent.Err()
+}

@@ -1,0 +1,117 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestForEachVisitsEveryIndexInOrderSlots(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 16} {
+		out := make([]int, 50)
+		err := ForEach(context.Background(), len(out), workers, func(_ context.Context, i int) error {
+			out[i] = i + 1
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range out {
+			if v != i+1 {
+				t.Fatalf("workers=%d: slot %d = %d", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestForEachZeroTasks(t *testing.T) {
+	if err := ForEach(context.Background(), 0, 4, func(context.Context, int) error {
+		t.Fatal("fn called for n=0")
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForEachReturnsLowestFailingIndex(t *testing.T) {
+	boom := func(i int) error { return fmt.Errorf("task %d failed", i) }
+	// Serial: fails at the first bad index, later tasks never run.
+	ran := 0
+	err := ForEach(context.Background(), 10, 1, func(_ context.Context, i int) error {
+		ran++
+		if i >= 3 {
+			return boom(i)
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "task 3 failed" {
+		t.Fatalf("serial err = %v", err)
+	}
+	if ran != 4 {
+		t.Fatalf("serial ran %d tasks, want 4", ran)
+	}
+	// Parallel: a barrier holds every task in flight until all four have
+	// started, so all of them run, indices 1-3 all fail, and the lowest
+	// failing index's error must win.
+	var entered sync.WaitGroup
+	entered.Add(4)
+	err = ForEach(context.Background(), 4, 4, func(_ context.Context, i int) error {
+		entered.Done()
+		entered.Wait()
+		if i >= 1 {
+			return boom(i)
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "task 1 failed" {
+		t.Fatalf("parallel err = %v", err)
+	}
+}
+
+func TestForEachCancelsPoolOnFirstError(t *testing.T) {
+	const n = 1000
+	var started atomic.Int64
+	boom := errors.New("boom")
+	err := ForEach(context.Background(), n, 4, func(ctx context.Context, i int) error {
+		started.Add(1)
+		if i == 0 {
+			return boom
+		}
+		// Block until the failure cancels the pool, so no worker can churn
+		// through the remaining indices before the cancellation lands.
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-time.After(5 * time.Second):
+			return fmt.Errorf("task %d never saw cancellation", i)
+		}
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	// The error cancels dispatch: only the tasks already picked up by the 4
+	// workers (plus at most one extra per worker racing the cancel) start.
+	if got := started.Load(); got > 16 {
+		t.Fatalf("%d of %d tasks started after first error", got, n)
+	}
+}
+
+func TestForEachHonorsParentCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	calls := 0
+	err := ForEach(ctx, 8, 1, func(context.Context, int) error {
+		calls++
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if calls != 0 {
+		t.Fatalf("ran %d tasks under a canceled context", calls)
+	}
+}
