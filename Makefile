@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench vet figures
+.PHONY: build test bench vet figures serve
 
 build:
 	$(GO) build ./...
@@ -16,3 +16,7 @@ bench:
 
 figures: build
 	$(GO) run ./cmd/figures -runs 4
+
+# Run the koalad experiment server on :8080 (see README "Server mode").
+serve: build
+	$(GO) run ./cmd/koalad

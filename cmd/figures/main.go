@@ -4,27 +4,40 @@
 // Usage:
 //
 //	figures [-runs N] [-parallel N] [-seed S] [-csv] [-only 7a,8f,...]
+//	        [-stream] [-version]
 //
 // Without -only, everything is produced in paper order. Output goes to
-// stdout; -csv switches from aligned columns to CSV.
+// stdout; -csv switches from aligned columns to CSV. -stream replaces
+// the pooled summary tables with the constant-memory streaming
+// aggregation path (per-job records are never retained); the CDF/series
+// figures need the records, so -stream implies -only summary.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
+	"repro/internal/buildinfo"
 	"repro/internal/experiment"
 )
 
 func main() {
+	version := flag.Bool("version", false, "print version and exit")
 	runs := flag.Int("runs", 4, "independent runs per combination (the paper uses 4)")
 	par := flag.Int("parallel", 0, "worker goroutines per sweep fan-out (0 = one per CPU, 1 = serial)")
 	seed := flag.Uint64("seed", 1, "base random seed")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned columns")
 	only := flag.String("only", "", "comma-separated subset (table1,6,7a..7f,8a..8f,summary)")
+	stream := flag.Bool("stream", false, "compute the summary tables on the streaming aggregation path (constant memory, no per-job records; implies -only summary)")
 	flag.Parse()
+
+	if *version {
+		fmt.Println(buildinfo.String("figures"))
+		return
+	}
 
 	want := map[string]bool{}
 	if *only != "" {
@@ -33,6 +46,47 @@ func main() {
 		}
 	}
 	selected := func(k string) bool { return len(want) == 0 || want[k] }
+
+	if *stream {
+		// The CDF/series figures need the per-job records that -stream
+		// deliberately never retains, and the summary tables are plain
+		// aligned text in batch mode too — reject the combinations
+		// instead of silently ignoring the flags.
+		if *csv {
+			fmt.Fprintln(os.Stderr, "figures: -csv formats figure output; -stream produces summary tables only")
+			os.Exit(1)
+		}
+		if *only != "" && !(len(want) == 1 && want["summary"]) {
+			fmt.Fprintln(os.Stderr, "figures: -stream computes no figures; only -only summary is compatible")
+			os.Exit(1)
+		}
+		base := experiment.Config{Runs: *runs, Parallelism: *par, Seed: *seed}
+		for _, ap := range []struct {
+			name   string
+			fig    string
+			combos []experiment.Combo
+		}{
+			{"PRA", "7", experiment.PRACombos()},
+			{"PWA", "8", experiment.PWACombos()},
+		} {
+			// One flattened pool per approach, like the batch sweep.
+			results, err := experiment.RunSetStream(context.Background(), ap.name, ap.combos, base)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "figures:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("# %s summary (Fig. %s aggregate, streamed)\n", ap.name, ap.fig)
+			fmt.Printf("%-14s %8s %10s %10s %10s %10s %8s\n",
+				"combo", "jobs", "mean-exec", "mean-resp", "mean-util", "ops/run", "rejected")
+			for i, res := range results {
+				fmt.Printf("%-14s %8d %10.1f %10.1f %10.1f %10.1f %8d\n",
+					ap.combos[i].Label, res.Jobs(), res.MeanExecution(), res.MeanResponse(),
+					res.MeanUtilization(), res.TotalOps(), res.Rejected())
+			}
+			fmt.Println()
+		}
+		return
+	}
 
 	emit := func(fig experiment.Figure) {
 		if *csv {

@@ -1,0 +1,97 @@
+// Command koalad is the long-running experiment server: it accepts
+// experiment configs as JSON over HTTP, executes them on a bounded run
+// pool with the streaming aggregation path (constant memory per run),
+// streams per-replication progress as NDJSON and caches completed
+// results by the config's canonical content hash — identical
+// re-submissions are answered without re-simulating.
+//
+// Usage:
+//
+//	koalad [-addr :8080] [-parallel N] [-max-runs N] [-queue N] [-version]
+//
+// Endpoints:
+//
+//	POST /v1/experiments             submit a config (JSON), get a run ID
+//	GET  /v1/experiments/{id}        status + final summary
+//	GET  /v1/experiments/{id}/events NDJSON progress stream (replay + follow)
+//	GET  /healthz                    liveness, version, queue gauges
+//	GET  /metrics                    Prometheus text metrics
+//
+// SIGINT/SIGTERM drain gracefully: new submissions are refused while
+// admitted runs finish (bounded by -drain-timeout), then the process
+// exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/buildinfo"
+	"repro/internal/server"
+)
+
+func main() {
+	version := flag.Bool("version", false, "print version and exit")
+	addr := flag.String("addr", ":8080", "listen address")
+	par := flag.Int("parallel", 0, "per-run simulation parallelism for configs that do not set their own (0 = one worker per CPU)")
+	maxRuns := flag.Int("max-runs", 2, "maximum concurrently executing runs")
+	queue := flag.Int("queue", 8, "maximum admitted runs waiting for a slot (beyond it POST returns 429)")
+	retain := flag.Int("retain", 256, "terminal runs kept resident (results + event logs); the oldest beyond this are forgotten")
+	drainTimeout := flag.Duration("drain-timeout", 2*time.Minute, "how long a shutdown waits for in-flight runs before aborting them")
+	flag.Parse()
+
+	if *version {
+		fmt.Println(buildinfo.String("koalad"))
+		return
+	}
+
+	logger := log.New(os.Stderr, "", log.LstdFlags)
+	srv := server.New(server.Options{
+		Parallelism:   *par,
+		MaxConcurrent: *maxRuns,
+		QueueDepth:    *queue,
+		MaxRetained:   *retain,
+		Version:       buildinfo.Version(),
+		Logf:          logger.Printf,
+	})
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errCh := make(chan error, 1)
+	go func() {
+		logger.Printf("koalad: %s listening on %s (max-runs=%d queue=%d)",
+			buildinfo.String("koalad"), *addr, *maxRuns, *queue)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+
+	select {
+	case sig := <-sigCh:
+		logger.Printf("koalad: received %s, draining (timeout %s)", sig, *drainTimeout)
+	case err := <-errCh:
+		logger.Fatalf("koalad: serve: %v", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	// Refuse new submissions and drain admitted runs first, then close
+	// the listener and any streaming connections.
+	if err := srv.Shutdown(ctx); err != nil {
+		logger.Printf("koalad: drain incomplete, in-flight runs aborted: %v", err)
+	} else {
+		logger.Printf("koalad: drained all in-flight runs")
+	}
+	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		logger.Printf("koalad: http shutdown: %v", err)
+	}
+	logger.Printf("koalad: bye")
+}

@@ -6,7 +6,7 @@
 //	koalasim [-workload Wm|Wmr|W'm|W'mr] [-policy FPSMA|EGS|EQUI|FOLD]
 //	         [-approach PRA|PWA] [-placement WF|CF|CM|FCM]
 //	         [-runs N] [-parallel N] [-seed S] [-reserve N] [-poll SEC]
-//	         [-no-background] [-csv FILE]
+//	         [-no-background] [-csv FILE] [-stream] [-version]
 package main
 
 import (
@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/buildinfo"
 	"repro/internal/experiment"
 	"repro/internal/metrics"
 	"repro/internal/stats"
@@ -21,6 +22,7 @@ import (
 )
 
 func main() {
+	version := flag.Bool("version", false, "print version and exit")
 	wl := flag.String("workload", "Wm", "workload: Wm, Wmr, W'm, W'mr")
 	policy := flag.String("policy", "FPSMA", "malleability policy: FPSMA, EGS, EQUI, FOLD")
 	approach := flag.String("approach", "PRA", "job management approach: PRA or PWA")
@@ -32,7 +34,17 @@ func main() {
 	poll := flag.Float64("poll", 0, "scheduler poll interval in seconds (0 = default)")
 	noBg := flag.Bool("no-background", false, "disable bypassing local users")
 	csvPath := flag.String("csv", "", "write per-job records to this CSV file")
+	stream := flag.Bool("stream", false, "stream per-replication aggregates instead of pooling records (constant memory; quantiles are sketch-approximate; incompatible with -csv)")
 	flag.Parse()
+
+	if *version {
+		fmt.Println(buildinfo.String("koalasim"))
+		return
+	}
+	if *stream && *csvPath != "" {
+		fmt.Fprintln(os.Stderr, "koalasim: -csv needs per-job records, which -stream does not retain")
+		os.Exit(1)
+	}
 
 	spec, err := workload.SpecByName(*wl, *seed)
 	if err != nil {
@@ -51,6 +63,27 @@ func main() {
 		GrowthReserve: *reserve,
 		NoBackground:  *noBg,
 	}
+
+	if *stream {
+		res, err := experiment.RunStream(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "koalasim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("experiment : %s/%s/%s placement=%s runs=%d seed=%d (streamed)\n",
+			*approach, *policy, spec.Name, *placement, *runs, *seed)
+		fmt.Printf("jobs       : %d finished, %d rejected\n", res.Jobs(), res.Rejected())
+		fmt.Printf("exec time  : %s\n", res.Agg.Exec.Summary())
+		fmt.Printf("response   : %s\n", res.Agg.Response.Summary())
+		if res.Agg.Malleable > 0 {
+			fmt.Printf("avg procs  : %s\n", res.Agg.AvgProcs.Summary())
+			fmt.Printf("max procs  : %s\n", res.Agg.MaxProcs.Summary())
+		}
+		fmt.Printf("mean util  : %.1f processors\n", res.MeanUtilization())
+		fmt.Printf("ops/run    : %.1f malleability operations\n", res.TotalOps())
+		return
+	}
+
 	res, err := experiment.Run(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "koalasim:", err)

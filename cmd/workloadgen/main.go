@@ -12,16 +12,23 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/buildinfo"
 	"repro/internal/workload"
 )
 
 func main() {
+	version := flag.Bool("version", false, "print version and exit")
 	wl := flag.String("workload", "Wm", "workload: Wm, Wmr, W'm, W'mr")
 	seed := flag.Uint64("seed", 1, "random seed")
 	out := flag.String("out", "", "write the trace to this file (default stdout)")
 	in := flag.String("in", "", "read and summarise an existing trace instead")
 	poisson := flag.Bool("poisson", false, "use Poisson arrivals instead of fixed spacing")
 	flag.Parse()
+
+	if *version {
+		fmt.Println(buildinfo.String("workloadgen"))
+		return
+	}
 
 	if *in != "" {
 		f, err := os.Open(*in)

@@ -1,0 +1,53 @@
+// Package buildinfo derives a human-readable version string for the
+// repro binaries from the build metadata the Go toolchain embeds
+// (runtime/debug.ReadBuildInfo). All four commands expose it behind a
+// -version flag, koalad additionally logs it at startup and reports it
+// in the /healthz payload, so that a deployed daemon can always be
+// matched back to a commit.
+package buildinfo
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+)
+
+// Version returns the best version identifier available: the module
+// version when built from a tagged module, otherwise the embedded VCS
+// revision (shortened, with a "-dirty" suffix for modified trees), and
+// "devel" when no metadata is embedded at all (e.g. go test binaries).
+func Version() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "devel"
+	}
+	if v := bi.Main.Version; v != "" && v != "(devel)" {
+		return v
+	}
+	var revision string
+	dirty := false
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			revision = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if revision == "" {
+		return "devel"
+	}
+	if len(revision) > 12 {
+		revision = revision[:12]
+	}
+	if dirty {
+		revision += "-dirty"
+	}
+	return revision
+}
+
+// String renders the one-line banner printed by -version: the command
+// name, the version and the toolchain that built it.
+func String(command string) string {
+	return fmt.Sprintf("%s %s (%s %s/%s)", command, Version(), runtime.Version(), runtime.GOOS, runtime.GOARCH)
+}

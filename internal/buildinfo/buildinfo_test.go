@@ -1,0 +1,22 @@
+package buildinfo
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestVersionNonEmpty(t *testing.T) {
+	if Version() == "" {
+		t.Fatal("Version() returned an empty string")
+	}
+}
+
+func TestStringMentionsCommandAndVersion(t *testing.T) {
+	s := String("koalad")
+	if !strings.HasPrefix(s, "koalad ") {
+		t.Fatalf("String() = %q, want the command name first", s)
+	}
+	if !strings.Contains(s, Version()) {
+		t.Fatalf("String() = %q does not contain Version() = %q", s, Version())
+	}
+}

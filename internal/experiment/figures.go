@@ -145,13 +145,11 @@ func RunSet(approach string, combos []Combo, base Config) (*Set, error) {
 	return RunSetContext(context.Background(), approach, combos, base)
 }
 
-// RunSetContext is RunSet with cancellation. Every (combo, replication)
-// pair is an independent simulation, so the whole sweep flattens into one
-// task space executed on a single bounded pool — base.Parallelism bounds
-// the *total* number of concurrent simulations, not workers per level.
-// The Labels order (and therefore every figure's series order) and each
-// combo's pooled record order match the serial loops exactly.
-func RunSetContext(ctx context.Context, approach string, combos []Combo, base Config) (*Set, error) {
+// ComboConfigs expands an approach's combos into per-combo configs the
+// way RunSet does (PWA background preset, approach/policy/workload and
+// name filled in, defaults resolved). It is the shared front half of
+// RunSetContext and the streaming sweep of cmd/figures -stream.
+func ComboConfigs(approach string, combos []Combo, base Config) []Config {
 	if base.Background == nil && !base.NoBackground && approach == "PWA" {
 		// The PWA experiments ran under much heavier shared-testbed
 		// conditions (see PWABackground).
@@ -167,6 +165,17 @@ func RunSetContext(ctx context.Context, approach string, combos []Combo, base Co
 		cfg.Name = fmt.Sprintf("%s/%s", approach, combo.Label)
 		cfgs[i] = cfg.withDefaults()
 	}
+	return cfgs
+}
+
+// RunSetContext is RunSet with cancellation. Every (combo, replication)
+// pair is an independent simulation, so the whole sweep flattens into one
+// task space executed on a single bounded pool — base.Parallelism bounds
+// the *total* number of concurrent simulations, not workers per level.
+// The Labels order (and therefore every figure's series order) and each
+// combo's pooled record order match the serial loops exactly.
+func RunSetContext(ctx context.Context, approach string, combos []Combo, base Config) (*Set, error) {
+	cfgs := ComboConfigs(approach, combos, base)
 
 	type task struct{ combo, run int }
 	var tasks []task

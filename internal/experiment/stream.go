@@ -1,0 +1,272 @@
+package experiment
+
+import (
+	"context"
+	"fmt"
+	"runtime/debug"
+
+	"repro/internal/metrics"
+	"repro/internal/parallel"
+	"repro/internal/stats"
+)
+
+// This file is the streaming twin of Run/RunContext: the same seeded
+// replications on the same worker pool, but each replication's job
+// records are folded into a constant-memory metrics.Aggregate and
+// dropped before the next replication of that worker starts. Nothing
+// proportional to the job count survives a replication, which is what
+// lets koalad hold many concurrent sweeps, and what the -stream flag
+// of the batch CLIs exposes for very large runs. Aggregates are merged
+// in replication order, so the output is deterministic for a given
+// config and seed regardless of parallelism.
+
+// Replication is the compact summary of one completed replication —
+// what koalad streams as a progress event, and all that RunStream
+// retains per replication.
+type Replication struct {
+	// Rep is the replication index in [0, Runs); its seed is
+	// Config.Seed + Rep.
+	Rep  int    `json:"rep"`
+	Seed uint64 `json:"seed"`
+
+	Jobs      int     `json:"jobs"`
+	Malleable int     `json:"malleable"`
+	Rejected  int     `json:"rejected"`
+	Makespan  float64 `json:"makespan"`
+	// MeanUtilization is the time-averaged processor utilisation over
+	// the replication's active span.
+	MeanUtilization float64 `json:"mean_utilization"`
+	// Ops is the total number of malleability operations.
+	Ops float64 `json:"ops"`
+
+	MeanExecution float64 `json:"mean_execution"`
+	MeanResponse  float64 `json:"mean_response"`
+}
+
+// StreamResult pools the replications of one experiment point without
+// retaining per-job records: exact counts and moments plus
+// sketch-backed quantiles (see metrics.Aggregate).
+type StreamResult struct {
+	Config       Config
+	Replications []Replication
+	Agg          *metrics.Aggregate
+}
+
+// summarizeReplication reduces a full RunResult to its compact form
+// plus the per-field aggregate, after which the records are garbage.
+func summarizeReplication(i int, r *RunResult) (Replication, *metrics.Aggregate) {
+	agg := metrics.NewAggregate()
+	agg.ObserveAll(r.Records)
+	rep := Replication{
+		Rep:           i,
+		Seed:          r.Seed,
+		Jobs:          agg.Jobs,
+		Malleable:     agg.Malleable,
+		Rejected:      r.Rejected,
+		Makespan:      r.Makespan,
+		Ops:           r.TotalOps,
+		MeanExecution: agg.MeanExecution(),
+		MeanResponse:  agg.MeanResponse(),
+	}
+	if r.Makespan > 0 {
+		rep.MeanUtilization = r.Utilization.MeanOver(0, r.Makespan)
+	}
+	return rep, agg
+}
+
+// StreamHooks observe a streaming run's replications. Both hooks are
+// optional and are invoked from worker goroutines — possibly
+// concurrently — so implementations must synchronize their own state
+// (koalad's event log and gauges do).
+type StreamHooks struct {
+	// OnStart fires when a replication's simulation begins.
+	OnStart func(rep int, seed uint64)
+	// OnDone fires once per completed replication, in completion order.
+	OnDone func(Replication)
+}
+
+// RunStream executes cfg.Runs seeded replications like Run, but streams
+// each replication through an aggregate instead of pooling records.
+func RunStream(cfg Config) (*StreamResult, error) {
+	return RunStreamContext(context.Background(), cfg, StreamHooks{})
+}
+
+// streamOne executes replication i of cfg and reduces it to its
+// compact form. A panicking replication must not unwind the worker
+// goroutine: the streaming path serves long-running daemons (koalad),
+// where one bad run may fail but never take the process down.
+func streamOne(cfg Config, i int, hooks StreamHooks) (rep Replication, agg *metrics.Aggregate, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("experiment %s: replication %d panicked: %v\n%s", cfg.Name, i, p, debug.Stack())
+		}
+	}()
+	seed := cfg.Seed + uint64(i)
+	if hooks.OnStart != nil {
+		hooks.OnStart(i, seed)
+	}
+	r, err := RunOnce(cfg, seed)
+	if err != nil {
+		return Replication{}, nil, err
+	}
+	rep, agg = summarizeReplication(i, r)
+	if hooks.OnDone != nil {
+		hooks.OnDone(rep)
+	}
+	return rep, agg, nil
+}
+
+// newStreamResult merges per-replication aggregates in replication
+// order into a StreamResult (deterministic for any parallelism).
+func newStreamResult(cfg Config, reps []Replication, aggs []*metrics.Aggregate) *StreamResult {
+	out := &StreamResult{Config: cfg, Replications: reps, Agg: metrics.NewAggregate()}
+	for _, agg := range aggs {
+		out.Agg.Merge(agg)
+	}
+	return out
+}
+
+// RunStreamContext is RunStream with cancellation and progress hooks.
+// The returned result merges the replication aggregates in replication
+// order, so it is identical for any parallelism.
+func RunStreamContext(ctx context.Context, cfg Config, hooks StreamHooks) (*StreamResult, error) {
+	cfg = cfg.withDefaults()
+	reps := make([]Replication, cfg.Runs)
+	aggs := make([]*metrics.Aggregate, cfg.Runs)
+	err := parallel.ForEach(ctx, cfg.Runs, cfg.Parallelism, func(_ context.Context, i int) error {
+		rep, agg, err := streamOne(cfg, i, hooks)
+		if err != nil {
+			return err
+		}
+		reps[i], aggs[i] = rep, agg
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return newStreamResult(cfg, reps, aggs), nil
+}
+
+// RunSetStream is the streaming counterpart of RunSet: it expands an
+// approach's combos via ComboConfigs and flattens every (combo,
+// replication) pair into one bounded pool — base.Parallelism bounds
+// the total number of concurrent simulations, exactly like the batch
+// sweep — returning one StreamResult per combo, in combo order.
+func RunSetStream(ctx context.Context, approach string, combos []Combo, base Config) ([]*StreamResult, error) {
+	cfgs := ComboConfigs(approach, combos, base)
+
+	type task struct{ combo, run int }
+	var tasks []task
+	reps := make([][]Replication, len(cfgs))
+	aggs := make([][]*metrics.Aggregate, len(cfgs))
+	for c, cfg := range cfgs {
+		reps[c] = make([]Replication, cfg.Runs)
+		aggs[c] = make([]*metrics.Aggregate, cfg.Runs)
+		for r := 0; r < cfg.Runs; r++ {
+			tasks = append(tasks, task{combo: c, run: r})
+		}
+	}
+	err := parallel.ForEach(ctx, len(tasks), base.Parallelism, func(_ context.Context, i int) error {
+		t := tasks[i]
+		rep, agg, err := streamOne(cfgs[t.combo], t.run, StreamHooks{})
+		if err != nil {
+			return err
+		}
+		reps[t.combo][t.run], aggs[t.combo][t.run] = rep, agg
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*StreamResult, len(cfgs))
+	for c, cfg := range cfgs {
+		out[c] = newStreamResult(cfg, reps[c], aggs[c])
+	}
+	return out, nil
+}
+
+// Jobs returns the number of finished jobs over all replications.
+func (r *StreamResult) Jobs() int { return r.Agg.Jobs }
+
+// Rejected returns the number of rejected jobs over all replications.
+func (r *StreamResult) Rejected() int {
+	n := 0
+	for _, rep := range r.Replications {
+		n += rep.Rejected
+	}
+	return n
+}
+
+// MeanUtilization averages the per-replication utilisation, exactly as
+// the batch Result.MeanUtilization does.
+func (r *StreamResult) MeanUtilization() float64 {
+	if len(r.Replications) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, rep := range r.Replications {
+		sum += rep.MeanUtilization
+	}
+	return sum / float64(len(r.Replications))
+}
+
+// TotalOps averages the malleability operations per replication,
+// exactly as the batch Result.TotalOps does.
+func (r *StreamResult) TotalOps() float64 {
+	if len(r.Replications) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, rep := range r.Replications {
+		sum += rep.Ops
+	}
+	return sum / float64(len(r.Replications))
+}
+
+// MeanExecution returns the mean execution time over all jobs.
+func (r *StreamResult) MeanExecution() float64 { return r.Agg.MeanExecution() }
+
+// MeanResponse returns the mean response time over all jobs.
+func (r *StreamResult) MeanResponse() float64 { return r.Agg.MeanResponse() }
+
+// StreamSummary is the JSON form of a finished streaming experiment:
+// koalad's terminal event, its GET /v1/experiments/{id} body, and the
+// cached value of the result cache.
+type StreamSummary struct {
+	Name      string `json:"name"`
+	Runs      int    `json:"runs"`
+	Jobs      int    `json:"jobs"`
+	Malleable int    `json:"malleable"`
+	Rejected  int    `json:"rejected"`
+
+	MeanUtilization float64 `json:"mean_utilization"`
+	OpsPerRun       float64 `json:"ops_per_run"`
+
+	// Exec/Response summarize all jobs; AvgProcs/MaxProcs the malleable
+	// subset. Moments are exact, quantiles carry the sketch's relative
+	// error.
+	Exec     stats.Summary `json:"exec"`
+	Response stats.Summary `json:"response"`
+	AvgProcs stats.Summary `json:"avg_procs"`
+	MaxProcs stats.Summary `json:"max_procs"`
+
+	Replications []Replication `json:"replications"`
+}
+
+// Summary renders the result in its wire form.
+func (r *StreamResult) Summary() StreamSummary {
+	return StreamSummary{
+		Name:            r.Config.Name,
+		Runs:            len(r.Replications),
+		Jobs:            r.Jobs(),
+		Malleable:       r.Agg.Malleable,
+		Rejected:        r.Rejected(),
+		MeanUtilization: r.MeanUtilization(),
+		OpsPerRun:       r.TotalOps(),
+		Exec:            r.Agg.Exec.Summary(),
+		Response:        r.Agg.Response.Summary(),
+		AvgProcs:        r.Agg.AvgProcs.Summary(),
+		MaxProcs:        r.Agg.MaxProcs.Summary(),
+		Replications:    r.Replications,
+	}
+}

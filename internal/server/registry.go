@@ -1,0 +1,196 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"repro/internal/experiment"
+)
+
+// Status is a run's lifecycle state.
+type Status string
+
+const (
+	// StatusQueued: admitted, waiting for a concurrency slot.
+	StatusQueued Status = "queued"
+	// StatusRunning: replications executing on the pool.
+	StatusRunning Status = "running"
+	// StatusDone: finished; Summary is set and the run is cacheable.
+	StatusDone Status = "done"
+	// StatusFailed: errored or aborted; Error is set.
+	StatusFailed Status = "failed"
+)
+
+// Run is one submitted experiment: its config, its lifecycle state and
+// an append-only event log that NDJSON subscribers replay and follow.
+type Run struct {
+	ID   string
+	Hash string
+	Name string
+
+	cfg experiment.Config
+
+	mu      sync.Mutex
+	status  Status
+	events  []json.RawMessage
+	changed chan struct{} // closed and replaced on every append
+	summary *experiment.StreamSummary
+	errMsg  string
+}
+
+func newRun(id, hash string, cfg experiment.Config) *Run {
+	return &Run{
+		ID:      id,
+		Hash:    hash,
+		Name:    cfg.Name,
+		cfg:     cfg,
+		status:  StatusQueued,
+		changed: make(chan struct{}),
+	}
+}
+
+// append marshals an event onto the log and wakes subscribers. The
+// optional terminal status is applied under the same lock, so a
+// subscriber can never observe a terminal status with the final event
+// still missing.
+func (r *Run) append(v any, terminal Status) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		// Events are built from plain structs; a marshal failure is a
+		// programming error, but a broken event beats a wedged stream.
+		b = []byte(fmt.Sprintf(`{"type":"error","error":%q}`, err.Error()))
+		terminal = StatusFailed
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.events = append(r.events, b)
+	if terminal != "" {
+		r.status = terminal
+	}
+	close(r.changed)
+	r.changed = make(chan struct{})
+}
+
+// setStatus transitions a non-terminal state (queued → running).
+func (r *Run) setStatus(s Status) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.status = s
+}
+
+// finish records the summary and appends the terminal summary event.
+func (r *Run) finish(sum experiment.StreamSummary) {
+	r.mu.Lock()
+	r.summary = &sum
+	r.mu.Unlock()
+	r.append(summaryEvent{Type: "summary", ID: r.ID, Summary: sum}, StatusDone)
+}
+
+// fail records the error and appends the terminal error event.
+func (r *Run) fail(msg string) {
+	r.mu.Lock()
+	r.errMsg = msg
+	r.mu.Unlock()
+	r.append(errorEvent{Type: "error", ID: r.ID, Error: msg}, StatusFailed)
+}
+
+// Status returns the current lifecycle state.
+func (r *Run) Status() Status {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.status
+}
+
+// Snapshot returns the state a GET reports: status, summary (when
+// done) and error (when failed).
+func (r *Run) Snapshot() (Status, *experiment.StreamSummary, string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.status, r.summary, r.errMsg
+}
+
+// next returns the events from index i on, whether the run is in a
+// terminal state, and a channel closed on the next append — everything
+// an event subscriber needs for replay-then-follow.
+func (r *Run) next(i int) (evs []json.RawMessage, terminal bool, changed <-chan struct{}) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if i < len(r.events) {
+		evs = r.events[i:]
+	}
+	return evs, r.status == StatusDone || r.status == StatusFailed, r.changed
+}
+
+// Registry assigns run IDs and resolves them.
+type Registry struct {
+	mu   sync.Mutex
+	runs map[string]*Run
+	seq  int
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{runs: make(map[string]*Run)}
+}
+
+// Create registers a new run for cfg under a fresh ID.
+func (g *Registry) Create(hash string, cfg experiment.Config) *Run {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.seq++
+	run := newRun(fmt.Sprintf("exp-%d", g.seq), hash, cfg)
+	g.runs[run.ID] = run
+	return run
+}
+
+// Get resolves a run ID, or nil.
+func (g *Registry) Get(id string) *Run {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.runs[id]
+}
+
+// Remove forgets a run. Subscribers already holding the *Run keep a
+// valid (terminal, immutable) event log; new lookups get 404.
+func (g *Registry) Remove(id string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	delete(g.runs, id)
+}
+
+// Len returns the number of registered runs.
+func (g *Registry) Len() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.runs)
+}
+
+// Wire event shapes. Replication events embed the experiment's
+// Replication so its fields flatten into the event object.
+
+type acceptedEvent struct {
+	Type string `json:"type"` // "accepted"
+	ID   string `json:"id"`
+	Name string `json:"name"`
+	Hash string `json:"hash"`
+	Runs int    `json:"runs"`
+}
+
+type repEvent struct {
+	Type string `json:"type"` // "replication"
+	ID   string `json:"id"`
+	experiment.Replication
+}
+
+type summaryEvent struct {
+	Type    string                   `json:"type"` // "summary"
+	ID      string                   `json:"id"`
+	Summary experiment.StreamSummary `json:"summary"`
+}
+
+type errorEvent struct {
+	Type  string `json:"type"` // "error"
+	ID    string `json:"id"`
+	Error string `json:"error"`
+}

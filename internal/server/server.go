@@ -1,0 +1,467 @@
+// Package server implements koalad, the long-running experiment
+// service: clients POST an experiment.Config in its JSON form to
+// /v1/experiments, the server validates and admits it onto a bounded
+// run pool, streams per-replication progress as NDJSON from
+// /v1/experiments/{id}/events, and indexes every completed summary in
+// a content-addressed cache keyed by the config's canonical
+// fingerprint — an identical re-submission is answered from the cache
+// without re-simulating. Execution uses the streaming aggregation path
+// (experiment.RunStream), so the daemon's memory per run is bounded by
+// the aggregate sketches, not the job count.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/experiment"
+	"repro/internal/parallel"
+)
+
+// Options tune the daemon.
+type Options struct {
+	// Parallelism is the per-run simulation parallelism handed to
+	// experiment configs that do not set their own (0 = one worker per
+	// CPU, the pool default).
+	Parallelism int
+	// MaxConcurrent bounds how many runs execute at once (default 2).
+	MaxConcurrent int
+	// QueueDepth bounds how many admitted runs may wait for a slot;
+	// beyond it POST returns 429 (default 8).
+	QueueDepth int
+	// MaxRetained bounds how many terminal runs (and their cached
+	// summaries and event logs) stay resident; beyond it the oldest are
+	// forgotten, so a long-lived daemon's memory does not grow with its
+	// submission history (default 256).
+	MaxRetained int
+	// Version is reported in /healthz and the startup banner.
+	Version string
+	// Logf receives one line per lifecycle transition (optional).
+	Logf func(format string, args ...any)
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxConcurrent <= 0 {
+		o.MaxConcurrent = 2
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 8
+	}
+	if o.MaxRetained <= 0 {
+		o.MaxRetained = 256
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+	return o
+}
+
+// Server is the koalad core, embeddable in tests via Handler().
+type Server struct {
+	opts     Options
+	registry *Registry
+	cache    *Cache
+
+	sem    chan struct{} // run slots
+	queued atomic.Int64  // admitted, waiting for a slot
+
+	activeRuns atomic.Int64
+	activeSims atomic.Int64 // replications currently simulating
+	repsDone   atomic.Int64
+	runsDone   atomic.Int64
+	runsFailed atomic.Int64
+
+	retireMu sync.Mutex // guards retired
+	retired  []string   // terminal run IDs, oldest first
+
+	admitMu sync.Mutex // serializes cache lookup+store on POST
+	wg      sync.WaitGroup
+	ctx     context.Context
+	cancel  context.CancelFunc
+	closed  atomic.Bool
+	started time.Time
+
+	// blockRuns, when non-nil, stalls every run after it turns Running
+	// until the channel closes. Tests use it to pin in-flight states
+	// (coalescing, queue admission) that are otherwise too fast to race.
+	blockRuns chan struct{}
+}
+
+// New assembles a server.
+func New(opts Options) *Server {
+	opts = opts.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Server{
+		opts:     opts,
+		registry: NewRegistry(),
+		cache:    NewCache(),
+		sem:      make(chan struct{}, opts.MaxConcurrent),
+		ctx:      ctx,
+		cancel:   cancel,
+		started:  time.Now(),
+	}
+}
+
+// Cache exposes the result cache (tests and metrics).
+func (s *Server) Cache() *Cache { return s.cache }
+
+// Handler returns the daemon's HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/experiments", s.handleSubmit)
+	mux.HandleFunc("GET /v1/experiments/{id}", s.handleGet)
+	mux.HandleFunc("GET /v1/experiments/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// Shutdown drains the daemon: new submissions are refused immediately,
+// admitted runs (queued and running) are given until ctx expires to
+// finish, then the shared run context is canceled to abort stragglers.
+// It returns nil when everything drained, ctx.Err() otherwise.
+func (s *Server) Shutdown(ctx context.Context) error {
+	// Flip closed under the admission lock: once Shutdown proceeds to
+	// wait, no POST can be past its authoritative closed check and about
+	// to add a run.
+	s.admitMu.Lock()
+	s.closed.Store(true)
+	s.admitMu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.cancel()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// submitResponse is the POST body: where the run lives and whether the
+// cache answered it.
+type submitResponse struct {
+	ID        string `json:"id"`
+	Hash      string `json:"hash"`
+	Status    Status `json:"status"`
+	Cached    bool   `json:"cached"`
+	Coalesced bool   `json:"coalesced,omitempty"`
+	URL       string `json:"url"`
+	EventsURL string `json:"events_url"`
+}
+
+func runURLs(id string) (string, string) {
+	u := "/v1/experiments/" + id
+	return u, u + "/events"
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.closed.Load() {
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	spec, err := experiment.DecodeConfigSpec(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	cfg, err := spec.Config()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if spec.Parallelism == 0 {
+		cfg.Parallelism = s.opts.Parallelism
+	}
+	hash, err := experiment.Fingerprint(cfg)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+
+	s.admitMu.Lock()
+	if existing := s.cache.Lookup(hash); existing != nil {
+		status := existing.Status()
+		s.admitMu.Unlock()
+		url, events := runURLs(existing.ID)
+		resp := submitResponse{ID: existing.ID, Hash: hash, Status: status, URL: url, EventsURL: events}
+		if status == StatusDone {
+			s.cache.countHit()
+			resp.Cached = true
+			s.opts.Logf("koalad: %s cache hit (%s)", existing.ID, hash[:12])
+			writeJSON(w, http.StatusOK, resp)
+		} else {
+			s.cache.countCoalesce()
+			resp.Coalesced = true
+			s.opts.Logf("koalad: %s coalesced identical submission (%s)", existing.ID, hash[:12])
+			writeJSON(w, http.StatusAccepted, resp)
+		}
+		return
+	}
+	// Re-check closed under the lock: the early check is a fast path,
+	// this one is authoritative against a concurrent Shutdown (which
+	// flips the flag under the same lock before draining).
+	if s.closed.Load() {
+		s.admitMu.Unlock()
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	if s.queued.Load() >= int64(s.opts.QueueDepth) {
+		s.admitMu.Unlock()
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "run queue is full")
+		return
+	}
+	s.cache.countMiss()
+	run := s.registry.Create(hash, cfg)
+	s.cache.Store(run)
+	s.queued.Add(1)
+	s.wg.Add(1) // inside the lock, so Shutdown's Wait covers this run
+	s.admitMu.Unlock()
+
+	run.append(acceptedEvent{Type: "accepted", ID: run.ID, Name: run.Name, Hash: hash, Runs: cfg.Runs}, "")
+	s.opts.Logf("koalad: %s accepted %s (%d runs, hash %s)", run.ID, run.Name, cfg.Runs, hash[:12])
+	go s.execute(run)
+
+	url, events := runURLs(run.ID)
+	writeJSON(w, http.StatusAccepted, submitResponse{
+		ID: run.ID, Hash: hash, Status: run.Status(), URL: url, EventsURL: events,
+	})
+}
+
+// retire records a terminal run and enforces the retention bound:
+// beyond MaxRetained terminal runs, the oldest leave the registry and
+// the cache (their configs re-simulate on a future POST).
+func (s *Server) retire(run *Run) {
+	s.retireMu.Lock()
+	s.retired = append(s.retired, run.ID)
+	var evict []string
+	if n := len(s.retired) - s.opts.MaxRetained; n > 0 {
+		evict = s.retired[:n]
+		s.retired = append([]string(nil), s.retired[n:]...)
+	}
+	s.retireMu.Unlock()
+	for _, id := range evict {
+		if old := s.registry.Get(id); old != nil {
+			s.cache.Evict(old)
+			s.registry.Remove(id)
+			s.opts.Logf("koalad: %s evicted (retention bound %d)", id, s.opts.MaxRetained)
+		}
+	}
+}
+
+// execute owns a run's lifecycle after admission: slot wait, streaming
+// execution, terminal event, cache upkeep.
+func (s *Server) execute(run *Run) {
+	defer s.wg.Done()
+	// Every path out of execute leaves the run terminal; account for it
+	// in the retention bound exactly once.
+	defer s.retire(run)
+	defer func() {
+		if p := recover(); p != nil {
+			s.cache.Evict(run)
+			s.runsFailed.Add(1)
+			run.fail(fmt.Sprintf("run panicked: %v", p))
+			s.opts.Logf("koalad: %s panicked: %v\n%s", run.ID, p, debug.Stack())
+		}
+	}()
+
+	select {
+	case s.sem <- struct{}{}:
+		s.queued.Add(-1)
+	case <-s.ctx.Done():
+		s.queued.Add(-1)
+		s.cache.Evict(run)
+		s.runsFailed.Add(1)
+		run.fail("server shut down before the run started")
+		return
+	}
+	defer func() { <-s.sem }()
+
+	s.activeRuns.Add(1)
+	defer s.activeRuns.Add(-1)
+	run.setStatus(StatusRunning)
+	if s.blockRuns != nil {
+		<-s.blockRuns
+	}
+
+	var started, finished atomic.Int64
+	hooks := experiment.StreamHooks{
+		OnStart: func(int, uint64) {
+			started.Add(1)
+			s.activeSims.Add(1)
+		},
+		OnDone: func(rep experiment.Replication) {
+			finished.Add(1)
+			s.activeSims.Add(-1)
+			s.repsDone.Add(1)
+			run.append(repEvent{Type: "replication", ID: run.ID, Replication: rep}, "")
+		},
+	}
+	res, err := experiment.RunStreamContext(s.ctx, run.cfg, hooks)
+	// Replications aborted mid-flight never reach OnDone; return their
+	// gauge contribution.
+	s.activeSims.Add(finished.Load() - started.Load())
+	if err != nil {
+		s.cache.Evict(run)
+		s.runsFailed.Add(1)
+		run.fail(err.Error())
+		s.opts.Logf("koalad: %s failed: %v", run.ID, err)
+		return
+	}
+	s.runsDone.Add(1)
+	run.finish(res.Summary())
+	s.opts.Logf("koalad: %s done (%d jobs, %d replications)", run.ID, res.Jobs(), len(res.Replications))
+}
+
+// getResponse is the GET /v1/experiments/{id} body.
+type getResponse struct {
+	ID        string                    `json:"id"`
+	Name      string                    `json:"name"`
+	Hash      string                    `json:"hash"`
+	Status    Status                    `json:"status"`
+	EventsURL string                    `json:"events_url"`
+	Error     string                    `json:"error,omitempty"`
+	Summary   *experiment.StreamSummary `json:"summary,omitempty"`
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	run := s.registry.Get(r.PathValue("id"))
+	if run == nil {
+		writeError(w, http.StatusNotFound, "no such experiment")
+		return
+	}
+	status, summary, errMsg := run.Snapshot()
+	_, events := runURLs(run.ID)
+	writeJSON(w, http.StatusOK, getResponse{
+		ID: run.ID, Name: run.Name, Hash: run.Hash, Status: status,
+		EventsURL: events, Error: errMsg, Summary: summary,
+	})
+}
+
+// handleEvents streams the run's event log as NDJSON: full replay for
+// late subscribers, then follow until the terminal event.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	run := s.registry.Get(r.PathValue("id"))
+	if run == nil {
+		writeError(w, http.StatusNotFound, "no such experiment")
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+
+	i := 0
+	for {
+		evs, terminal, changed := run.next(i)
+		for _, ev := range evs {
+			// Write the newline separately: append(ev, '\n') would mutate
+			// the stored event's backing array (json.Marshal leaves spare
+			// capacity), racing concurrent subscribers to the same run.
+			if _, err := w.Write(ev); err != nil {
+				return
+			}
+			if _, err := w.Write([]byte{'\n'}); err != nil {
+				return
+			}
+		}
+		i += len(evs)
+		if len(evs) > 0 && flusher != nil {
+			flusher.Flush()
+		}
+		if terminal {
+			return
+		}
+		select {
+		case <-changed:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// healthzResponse is the /healthz body.
+type healthzResponse struct {
+	Status        string  `json:"status"`
+	Version       string  `json:"version"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	ActiveRuns    int64   `json:"active_runs"`
+	QueuedRuns    int64   `json:"queued_runs"`
+	Runs          int     `json:"runs"`
+	CacheSize     int     `json:"cache_size"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	status := "ok"
+	if s.closed.Load() {
+		status = "draining"
+	}
+	writeJSON(w, http.StatusOK, healthzResponse{
+		Status:        status,
+		Version:       s.opts.Version,
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		ActiveRuns:    s.activeRuns.Load(),
+		QueuedRuns:    s.queued.Load(),
+		Runs:          s.registry.Len(),
+		CacheSize:     s.cache.Len(),
+	})
+}
+
+// handleMetrics renders Prometheus text exposition (no client library
+// needed for gauges and counters).
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	type metric struct {
+		name, help, typ string
+		value           any
+	}
+	metrics := []metric{
+		{"koalad_queue_depth", "Admitted runs waiting for a concurrency slot.", "gauge", s.queued.Load()},
+		{"koalad_active_runs", "Runs currently executing.", "gauge", s.activeRuns.Load()},
+		{"koalad_active_simulations", "Replications currently simulating.", "gauge", s.activeSims.Load()},
+		{"koalad_run_slots", "Concurrent-run bound.", "gauge", s.opts.MaxConcurrent},
+		{"koalad_sim_workers_default", "Per-run simulation parallelism handed to configs without their own.", "gauge", effectiveWorkers(s.opts.Parallelism)},
+		{"koalad_replications_total", "Completed replications.", "counter", s.repsDone.Load()},
+		{"koalad_runs_total", "Runs admitted for execution.", "counter", s.cache.Misses()},
+		{"koalad_runs_done_total", "Runs completed successfully.", "counter", s.runsDone.Load()},
+		{"koalad_runs_failed_total", "Runs failed or aborted.", "counter", s.runsFailed.Load()},
+		{"koalad_cache_size", "Results indexed by config fingerprint.", "gauge", s.cache.Len()},
+		{"koalad_cache_hits_total", "Submissions answered from the result cache.", "counter", s.cache.Hits()},
+		{"koalad_cache_coalesced_total", "Submissions attached to an in-flight identical run.", "counter", s.cache.Coalesced()},
+		{"koalad_cache_misses_total", "Submissions that started a new run.", "counter", s.cache.Misses()},
+		{"koalad_cache_hit_rate", "hits / (hits + misses).", "gauge", s.cache.HitRate()},
+	}
+	for _, m := range metrics {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %v\n", m.name, m.help, m.name, m.typ, m.name, m.value)
+	}
+}
+
+func effectiveWorkers(parallelism int) int {
+	if parallelism <= 0 {
+		return parallel.DefaultWorkers()
+	}
+	return parallelism
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}
