@@ -2,6 +2,7 @@ package koala
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/app"
 	"repro/internal/runner"
@@ -146,11 +147,7 @@ func (s *Scheduler) RunningMalleableJobs(site string) []*Job {
 	}
 	// Jobs are stored in submission order; start times are monotone within
 	// a site only by accident, so sort explicitly (stable on ties).
-	for i := 1; i < len(out); i++ {
-		for k := i; k > 0 && out[k].startTime < out[k-1].startTime; k-- {
-			out[k], out[k-1] = out[k-1], out[k]
-		}
-	}
+	sort.SliceStable(out, func(a, b int) bool { return out[a].startTime < out[b].startTime })
 	return out
 }
 
