@@ -149,6 +149,9 @@ func (x *Execution) reschedule() {
 }
 
 func (x *Execution) finish() {
+	// The handle refers to the event firing right now; drop it so no later
+	// path can cancel a recycled event.
+	x.finishEv = nil
 	x.integrate()
 	// Guard against float drift: the event fires exactly at the computed
 	// completion instant, so progress must be 1 within epsilon.

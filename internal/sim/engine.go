@@ -8,6 +8,11 @@
 // (time, insertion sequence) so simultaneous events fire in scheduling order,
 // and (b) the SplitMix64-based RNG in rng.go, seeded explicitly by every
 // experiment.
+//
+// The kernel's hot path is allocation-free: fired and canceled Event structs
+// are recycled through a free list backed by an arena owned by the Engine,
+// and the Handler-based scheduling methods (AtOp, AfterOp, ImmediatelyOp)
+// let steady-state callers avoid per-event closures entirely.
 package sim
 
 import (
@@ -16,13 +21,27 @@ import (
 	"math"
 )
 
+// Handler is a pre-bound event target: scheduling one with AtOp/AfterOp
+// fires h.OnEvent(op) without allocating a per-event closure. The op code
+// lets a single object distinguish the different events it schedules.
+type Handler interface {
+	OnEvent(op int)
+}
+
 // Event is a scheduled callback. It is returned by the scheduling methods so
 // that callers may cancel it before it fires.
+//
+// Handles are valid only until the event fires or is canceled: the Engine
+// recycles the struct for later events, so a retained stale handle may refer
+// to an unrelated live event. Clear stored handles when they fire.
 type Event struct {
+	engine   *Engine
 	time     float64
 	seq      uint64
 	index    int // heap index, -1 when not queued
 	fn       func()
+	h        Handler
+	op       int
 	canceled bool
 }
 
@@ -32,9 +51,19 @@ func (e *Event) Time() float64 { return e.time }
 // Canceled reports whether Cancel was called on the event.
 func (e *Event) Canceled() bool { return e.canceled }
 
-// Cancel prevents the event from firing. Canceling an already-fired or
+// Cancel prevents the event from firing and removes it from the queue
+// immediately (so Pending stays exact). Canceling an already-fired or
 // already-canceled event is a no-op.
-func (e *Event) Cancel() { e.canceled = true }
+func (e *Event) Cancel() {
+	if e.canceled {
+		return
+	}
+	e.canceled = true
+	if e.index >= 0 {
+		heap.Remove(&e.engine.queue, e.index)
+		e.engine.recycle(e)
+	}
+}
 
 type eventHeap []*Event
 
@@ -69,6 +98,10 @@ func (h *eventHeap) Pop() any {
 	return e
 }
 
+// arenaChunk is how many Events one arena block holds; the free list grows
+// by this much whenever it runs dry.
+const arenaChunk = 256
+
 // Engine is a single-threaded discrete-event simulation engine. The zero
 // value is ready to use and starts at virtual time 0.
 //
@@ -80,6 +113,11 @@ type Engine struct {
 	queue   eventHeap
 	stopped bool
 	fired   uint64
+
+	// free holds fired/canceled events available for reuse; arena is the
+	// current allocation block the free list refills from.
+	free  []*Event
+	arena []Event
 }
 
 // New returns an Engine starting at virtual time 0.
@@ -92,23 +130,59 @@ func (e *Engine) Now() float64 { return e.now }
 // benchmarks as a proxy for simulation work).
 func (e *Engine) Fired() uint64 { return e.fired }
 
-// Pending returns the number of events currently queued (including canceled
-// events that have not yet been discarded).
+// Pending returns the number of events currently queued. Canceled events are
+// removed from the queue eagerly, so the count is exact.
 func (e *Engine) Pending() int { return len(e.queue) }
 
-// At schedules fn to run at absolute virtual time t. Scheduling in the past
-// panics: it would silently reorder causality, which is always a bug in the
-// calling model.
-func (e *Engine) At(t float64, fn func()) *Event {
+// alloc hands out an Event from the free list, refilling from the arena
+// when it runs dry.
+func (e *Engine) alloc() *Event {
+	if n := len(e.free); n > 0 {
+		ev := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		return ev
+	}
+	if len(e.arena) == 0 {
+		e.arena = make([]Event, arenaChunk)
+	}
+	ev := &e.arena[0]
+	e.arena = e.arena[1:]
+	ev.engine = e
+	return ev
+}
+
+// recycle returns a fired or canceled event to the free list, dropping its
+// callback so the closure can be collected.
+func (e *Engine) recycle(ev *Event) {
+	ev.fn = nil
+	ev.h = nil
+	e.free = append(e.free, ev)
+}
+
+// schedule queues a recycled-or-fresh event at absolute time t.
+func (e *Engine) schedule(t float64) *Event {
 	if math.IsNaN(t) {
 		panic("sim: scheduling event at NaN time")
 	}
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event in the past: t=%g now=%g", t, e.now))
 	}
-	ev := &Event{time: t, seq: e.seq, fn: fn}
+	ev := e.alloc()
+	ev.time = t
+	ev.seq = e.seq
+	ev.canceled = false
 	e.seq++
 	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// panics: it would silently reorder causality, which is always a bug in the
+// calling model.
+func (e *Engine) At(t float64, fn func()) *Event {
+	ev := e.schedule(t)
+	ev.fn = fn
 	return ev
 }
 
@@ -124,6 +198,31 @@ func (e *Engine) After(delay float64, fn func()) *Event {
 // scheduled for this instant.
 func (e *Engine) Immediately(fn func()) *Event { return e.At(e.now, fn) }
 
+// AtOp schedules h.OnEvent(op) at absolute virtual time t without
+// allocating a closure.
+func (e *Engine) AtOp(t float64, h Handler, op int) *Event {
+	if h == nil {
+		panic("sim: AtOp with nil handler")
+	}
+	ev := e.schedule(t)
+	ev.h = h
+	ev.op = op
+	return ev
+}
+
+// AfterOp schedules h.OnEvent(op) delay seconds from now without allocating
+// a closure. Negative delays panic.
+func (e *Engine) AfterOp(delay float64, h Handler, op int) *Event {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %g", delay))
+	}
+	return e.AtOp(e.now+delay, h, op)
+}
+
+// ImmediatelyOp schedules h.OnEvent(op) at the current time, after all
+// events already scheduled for this instant.
+func (e *Engine) ImmediatelyOp(h Handler, op int) *Event { return e.AtOp(e.now, h, op) }
+
 // Stop halts Run/RunUntil after the currently executing event returns.
 func (e *Engine) Stop() { e.stopped = true }
 
@@ -133,6 +232,8 @@ func (e *Engine) step() bool {
 	for len(e.queue) > 0 {
 		ev := heap.Pop(&e.queue).(*Event)
 		if ev.canceled {
+			// Cancel removes events eagerly; this is defensive only.
+			e.recycle(ev)
 			continue
 		}
 		if ev.time < e.now {
@@ -140,7 +241,14 @@ func (e *Engine) step() bool {
 		}
 		e.now = ev.time
 		e.fired++
-		ev.fn()
+		if ev.h != nil {
+			ev.h.OnEvent(ev.op)
+		} else {
+			ev.fn()
+		}
+		// Recycle only after the callback returns so a handle canceled
+		// mid-fire never aliases a live event.
+		e.recycle(ev)
 		return true
 	}
 	return false
@@ -161,10 +269,6 @@ func (e *Engine) Run() float64 {
 func (e *Engine) RunUntil(horizon float64) float64 {
 	e.stopped = false
 	for !e.stopped {
-		// Peek: drop canceled heads so the horizon check sees a live event.
-		for len(e.queue) > 0 && e.queue[0].canceled {
-			heap.Pop(&e.queue)
-		}
 		if len(e.queue) == 0 || e.queue[0].time > horizon {
 			break
 		}

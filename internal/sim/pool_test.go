@@ -1,0 +1,162 @@
+package sim
+
+import "testing"
+
+// nop is package-level so scheduling it never allocates a closure.
+var nop = func() {}
+
+func TestPendingExcludesCanceled(t *testing.T) {
+	e := New()
+	a := e.At(1, nop)
+	e.At(2, nop)
+	e.At(3, nop)
+	if e.Pending() != 3 {
+		t.Fatalf("Pending() = %d, want 3", e.Pending())
+	}
+	a.Cancel()
+	if e.Pending() != 2 {
+		t.Fatalf("Pending() = %d after cancel, want 2 (canceled events must not be counted)", e.Pending())
+	}
+	e.Run()
+	if e.Pending() != 0 {
+		t.Fatalf("Pending() = %d after Run, want 0", e.Pending())
+	}
+	if e.Fired() != 2 {
+		t.Fatalf("Fired() = %d, want 2", e.Fired())
+	}
+}
+
+func TestCancelMidHeapKeepsOrder(t *testing.T) {
+	e := New()
+	var order []float64
+	evs := make([]*Event, 0, 10)
+	for _, tm := range []float64{5, 1, 9, 3, 7, 2, 8, 4, 6, 10} {
+		tm := tm
+		evs = append(evs, e.At(tm, func() { order = append(order, tm) }))
+	}
+	evs[0].Cancel() // t=5, interior heap node
+	evs[2].Cancel() // t=9
+	e.Run()
+	want := []float64{1, 2, 3, 4, 6, 7, 8, 10}
+	if len(order) != len(want) {
+		t.Fatalf("fired %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("fired %v, want %v", order, want)
+		}
+	}
+}
+
+type opRecorder struct {
+	ops []int
+}
+
+func (r *opRecorder) OnEvent(op int) { r.ops = append(r.ops, op) }
+
+func TestHandlerEventsInterleaveWithClosures(t *testing.T) {
+	e := New()
+	rec := &opRecorder{}
+	var order []string
+	e.AtOp(1, rec, 7)
+	e.At(2, func() { order = append(order, "fn") })
+	e.AfterOp(3, rec, 8)
+	e.At(3, func() { e.ImmediatelyOp(rec, 9) })
+	e.Run()
+	if len(rec.ops) != 3 || rec.ops[0] != 7 || rec.ops[1] != 8 || rec.ops[2] != 9 {
+		t.Fatalf("handler ops = %v, want [7 8 9]", rec.ops)
+	}
+	if len(order) != 1 {
+		t.Fatalf("closure events fired %d times, want 1", len(order))
+	}
+}
+
+func TestAtOpNilHandlerPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("AtOp with nil handler did not panic")
+		}
+	}()
+	New().AtOp(1, nil, 0)
+}
+
+// TestScheduleFireIsAllocationFree pins the free-list behaviour: once the
+// pool is warm, a schedule+fire cycle performs zero heap allocations.
+func TestScheduleFireIsAllocationFree(t *testing.T) {
+	e := New()
+	rec := &opRecorder{}
+	// Warm the pool and the heap's backing array.
+	for i := 0; i < 2*arenaChunk; i++ {
+		e.At(e.Now(), nop)
+	}
+	e.Run()
+	rec.ops = rec.ops[:0]
+	allocs := testing.AllocsPerRun(100, func() {
+		e.At(e.Now()+1, nop)
+		e.AtOp(e.Now()+1, rec, 1)
+		e.Run()
+	})
+	if allocs > 0 {
+		t.Fatalf("schedule+fire allocates %.1f objects per cycle, want 0", allocs)
+	}
+}
+
+// TestCancelIsAllocationFree pins that eager removal recycles in place.
+func TestCancelIsAllocationFree(t *testing.T) {
+	e := New()
+	for i := 0; i < arenaChunk; i++ {
+		e.At(e.Now(), nop)
+	}
+	e.Run()
+	allocs := testing.AllocsPerRun(100, func() {
+		ev := e.At(e.Now()+1, nop)
+		ev.Cancel()
+	})
+	if allocs > 0 {
+		t.Fatalf("schedule+cancel allocates %.1f objects per cycle, want 0", allocs)
+	}
+}
+
+// BenchmarkEngine measures raw schedule+fire throughput of the kernel, the
+// unit of work every simulated component pays per event.
+func BenchmarkEngine(b *testing.B) {
+	e := New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.At(e.Now()+1, nop)
+		e.At(e.Now()+2, nop)
+		e.At(e.Now()+0.5, nop)
+		e.Run()
+	}
+}
+
+// BenchmarkEngineHandler is BenchmarkEngine over the closure-free AtOp path.
+func BenchmarkEngineHandler(b *testing.B) {
+	e := New()
+	rec := &opRecorder{}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rec.ops = rec.ops[:0]
+		e.AtOp(e.Now()+1, rec, 0)
+		e.AtOp(e.Now()+2, rec, 1)
+		e.AtOp(e.Now()+0.5, rec, 2)
+		e.Run()
+	}
+}
+
+// BenchmarkEngineChurn stresses a deep heap with interleaved cancels, the
+// shape of the polling loop under load.
+func BenchmarkEngineChurn(b *testing.B) {
+	e := New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var evs [64]*Event
+		for j := range evs {
+			evs[j] = e.At(e.Now()+float64(j%13)+1, nop)
+		}
+		for j := 0; j < len(evs); j += 2 {
+			evs[j].Cancel()
+		}
+		e.Run()
+	}
+}

@@ -4,10 +4,14 @@ package sim
 // It models the periodic polling loops of the paper (the KOALA scheduler
 // polling the information service, §V-B) without each component having to
 // reimplement reschedule-on-fire logic.
+//
+// A running ticker costs no allocations: the reschedule closure is built
+// once and the Events it schedules come from the Engine's pool.
 type Ticker struct {
 	engine  *Engine
 	period  float64
 	fn      func()
+	tick    func()
 	next    *Event
 	stopped bool
 }
@@ -19,27 +23,33 @@ func NewTicker(e *Engine, period float64, fn func()) *Ticker {
 		panic("sim: ticker period must be positive")
 	}
 	t := &Ticker{engine: e, period: period, fn: fn}
-	t.schedule()
-	return t
-}
-
-func (t *Ticker) schedule() {
-	t.next = t.engine.After(t.period, func() {
+	t.tick = func() {
+		// The handle now refers to the event being fired; drop it before
+		// running the callback so a Stop from inside fn cannot cancel a
+		// recycled (and by then unrelated) event.
+		t.next = nil
 		if t.stopped {
 			return
 		}
 		t.fn()
 		if !t.stopped {
-			t.schedule()
+			t.next = t.engine.After(t.period, t.tick)
 		}
-	})
+	}
+	t.next = t.engine.After(t.period, t.tick)
+	return t
 }
 
-// Stop halts the ticker; the pending fire is canceled.
+// Stop halts the ticker; the pending fire is canceled. Stop is idempotent
+// and safe to call from inside the ticker's own callback.
 func (t *Ticker) Stop() {
+	if t.stopped {
+		return
+	}
 	t.stopped = true
 	if t.next != nil {
 		t.next.Cancel()
+		t.next = nil
 	}
 }
 
