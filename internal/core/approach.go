@@ -80,30 +80,30 @@ func (PWA) OnPlacementBlocked(m *Manager, j *koala.Job) bool {
 	snap := m.sched.KIS().Last()
 	// Choose the cluster where the fewest shrunk processors make the job
 	// fit: maximise idle+shrinkable headroom, then minimise shrink amount.
-	var best *koala.Site
+	best := -1
 	bestShort := 0
-	for _, site := range m.sched.Sites() {
-		idle := snap.Idle(site.Name()) - m.sched.PendingClaims(site.Name()) - m.inflightGrowth(site.Name())
+	for i := range m.sched.Sites() {
+		idle := snap.IdleAt(i) - m.sched.PendingClaimsAt(i) - m.inflightGrowthAt(i)
 		short := need - idle
 		if short <= 0 {
 			// It already fits; the placement failure was transient (e.g.
 			// in-flight growth) — no shrinking needed.
 			return false
 		}
-		if m.shrinkable(site) >= short {
-			if best == nil || short < bestShort {
-				best = site
+		if m.shrinkableAt(i) >= short {
+			if best < 0 || short < bestShort {
+				best = i
 				bestShort = short
 			}
 		}
 	}
-	if best == nil {
+	if best < 0 {
 		// Even shrinking everything to minimum sizes cannot host the job:
 		// grow the running applications instead.
 		m.growAll(snap)
 		return false
 	}
-	m.shrinkSite(best, bestShort)
+	m.shrinkSiteAt(best, bestShort)
 	return true
 }
 

@@ -75,8 +75,8 @@ func TestPropertySystemInvariants(t *testing.T) {
 					ok = false
 				}
 			}
-			for _, site := range sys.Sites {
-				if sys.Manager.Reserved(site.Name()) < 0 {
+			for i, site := range sys.Sites {
+				if sys.Manager.Reserved(i) < 0 {
 					ok = false
 				}
 				for _, j := range sys.Scheduler.RunningMalleableJobs(site.Name()) {

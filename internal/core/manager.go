@@ -41,11 +41,13 @@ type Manager struct {
 	blockedEvents uint64
 	appGrowMsgs   uint64
 
-	// prevAvail remembers the last observed growth headroom per site.
-	// Growth rounds run when processors *become available* (§V-B) — an
-	// edge trigger, not a level trigger — so a site whose availability is
-	// unchanged since the previous poll is left alone.
-	prevAvail map[string]int
+	// prevAvail remembers the last observed growth headroom per site (by
+	// dense site index), with prevSeen marking sites observed at least
+	// once. Growth rounds run when processors *become available* (§V-B) —
+	// an edge trigger, not a level trigger — so a site whose availability
+	// is unchanged since the previous poll is left alone.
+	prevAvail []int
+	prevSeen  []bool
 }
 
 // NewManager attaches a malleability manager to the scheduler.
@@ -65,7 +67,8 @@ func NewManager(engine *sim.Engine, sched *koala.Scheduler, cfg ManagerConfig) *
 		cfg:        cfg,
 		growMsgs:   stats.NewCounter(),
 		shrinkMsgs: stats.NewCounter(),
-		prevAvail:  make(map[string]int),
+		prevAvail:  make([]int, len(sched.Sites())),
+		prevSeen:   make([]bool, len(sched.Sites())),
 	}
 	sched.SetHooks(m)
 	return m
@@ -109,13 +112,13 @@ func (m *Manager) BlockedEvents() uint64 { return m.blockedEvents }
 // Reserved implements koala.Hooks: processors granted to growing jobs whose
 // stub submissions are still in flight. The scheduler subtracts them from
 // every placement view.
-func (m *Manager) Reserved(site string) int { return m.inflightGrowth(site) }
+func (m *Manager) Reserved(siteIndex int) int { return m.inflightGrowthAt(siteIndex) }
 
-// inflightGrowth sums planned-but-not-yet-held processors over the running
-// malleable jobs of a site.
-func (m *Manager) inflightGrowth(site string) int {
+// inflightGrowthAt sums planned-but-not-yet-held processors over the
+// running malleable jobs of the site with dense index i.
+func (m *Manager) inflightGrowthAt(i int) int {
 	total := 0
-	for _, j := range m.sched.RunningMalleableJobs(site) {
+	for _, j := range m.sched.RunningMalleableJobsAt(i) {
 		if d := j.PlannedProcs() - j.HeldProcs(); d > 0 {
 			total += d
 		}
@@ -123,13 +126,13 @@ func (m *Manager) inflightGrowth(site string) int {
 	return total
 }
 
-// availableForGrowth computes how many processors of a site the manager may
+// availableForGrowth computes how many processors of site i the manager may
 // hand to malleable jobs right now: the snapshot's idle count minus claims
 // still in flight, minus growth already granted but not yet held, minus the
 // local-user reserve.
-func (m *Manager) availableForGrowth(snap koala.Snapshot, site *koala.Site) int {
-	return snap.Idle(site.Name()) - m.sched.PendingClaims(site.Name()) -
-		m.inflightGrowth(site.Name()) - m.cfg.GrowthReserve
+func (m *Manager) availableForGrowth(snap koala.Snapshot, i int) int {
+	return snap.IdleAt(i) - m.sched.PendingClaimsAt(i) -
+		m.inflightGrowthAt(i) - m.cfg.GrowthReserve
 }
 
 // totalMsgs sums the grow and shrink messages received so far by the
@@ -145,12 +148,13 @@ func totalMsgs(jobs []*koala.Job) (grow, shrink uint64) {
 	return grow, shrink
 }
 
-// growSite runs one grow round on a site with the given number of available
-// processors as the grow value, counting the grow messages the policy sent
-// (the paper's Fig. 7f metric). Jobs at their maximum still receive offers,
-// as in the Fig. 4/5 pseudo-code — they simply decline.
-func (m *Manager) growSite(site *koala.Site, avail int) int {
-	jobs := m.sched.RunningMalleableJobs(site.Name())
+// growSiteAt runs one grow round on the site with dense index i, with the
+// given number of available processors as the grow value, counting the grow
+// messages the policy sent (the paper's Fig. 7f metric). Jobs at their
+// maximum still receive offers, as in the Fig. 4/5 pseudo-code — they
+// simply decline.
+func (m *Manager) growSiteAt(i, avail int) int {
+	jobs := m.sched.RunningMalleableJobsAt(i)
 	if len(jobs) == 0 || avail <= 0 {
 		return 0
 	}
@@ -174,36 +178,36 @@ func (m *Manager) growSite(site *koala.Site, avail int) int {
 // re-offering idle capacity that the policies already declined.
 func (m *Manager) growAll(snap koala.Snapshot) int {
 	total := 0
-	for _, site := range m.sched.Sites() {
-		avail := m.availableForGrowth(snap, site)
-		prev, seen := m.prevAvail[site.Name()]
+	for i := range m.sched.Sites() {
+		avail := m.availableForGrowth(snap, i)
 		grow := avail
-		if seen {
-			base := prev
+		if m.prevSeen[i] {
+			base := m.prevAvail[i]
 			if base < 0 {
 				base = 0
 			}
 			grow = avail - base
 		}
+		m.prevSeen[i] = true
 		if grow > 0 && avail > 0 {
 			if grow > avail {
 				grow = avail
 			}
-			total += m.growSite(site, grow)
+			total += m.growSiteAt(i, grow)
 			// Remember the post-round headroom (accepted growth is now in
 			// flight and discounted by availableForGrowth).
-			m.prevAvail[site.Name()] = m.availableForGrowth(snap, site)
+			m.prevAvail[i] = m.availableForGrowth(snap, i)
 			continue
 		}
-		m.prevAvail[site.Name()] = avail
+		m.prevAvail[i] = avail
 	}
 	return total
 }
 
-// shrinkSite requests need processors back from a site's malleable jobs,
-// counting the shrink messages the policy sent.
-func (m *Manager) shrinkSite(site *koala.Site, need int) int {
-	jobs := m.sched.RunningMalleableJobs(site.Name())
+// shrinkSiteAt requests need processors back from the malleable jobs of the
+// site with dense index i, counting the shrink messages the policy sent.
+func (m *Manager) shrinkSiteAt(i, need int) int {
+	jobs := m.sched.RunningMalleableJobsAt(i)
 	if len(jobs) == 0 || need <= 0 {
 		return 0
 	}
@@ -219,11 +223,11 @@ func (m *Manager) shrinkSite(site *koala.Site, need int) int {
 	return released
 }
 
-// shrinkable returns how many processors a site's malleable jobs could still
-// give back (planned minus minimum, summed).
-func (m *Manager) shrinkable(site *koala.Site) int {
+// shrinkableAt returns how many processors the malleable jobs of site i
+// could still give back (planned minus minimum, summed).
+func (m *Manager) shrinkableAt(i int) int {
 	total := 0
-	for _, j := range m.sched.RunningMalleableJobs(site.Name()) {
+	for _, j := range m.sched.RunningMalleableJobsAt(i) {
 		if slack := j.PlannedProcs() - j.MinProcs(); slack > 0 {
 			total += slack
 		}

@@ -15,17 +15,11 @@ func (m *Manager) AppGrowRequest(site string, amount int) int {
 	if amount <= 0 {
 		return 0
 	}
-	var target *koala.Site
-	for _, s := range m.sched.Sites() {
-		if s.Name() == site {
-			target = s
-			break
-		}
-	}
-	if target == nil {
+	i, ok := m.sched.SiteIndex(site)
+	if !ok {
 		return 0
 	}
-	avail := m.availableForGrowth(m.sched.KIS().Refresh(), target)
+	avail := m.availableForGrowth(m.sched.KIS().Refresh(), i)
 	if avail <= 0 {
 		return 0
 	}
@@ -35,7 +29,8 @@ func (m *Manager) AppGrowRequest(site string, amount int) int {
 	}
 	m.appGrowMsgs++
 	// Keep the edge trigger consistent: the grant consumes headroom.
-	m.prevAvail[site] = avail - grant
+	m.prevAvail[i] = avail - grant
+	m.prevSeen[i] = true
 	return grant
 }
 
@@ -43,11 +38,11 @@ func (m *Manager) AppGrowRequest(site string, amount int) int {
 // manager granted (fully or partially).
 func (m *Manager) AppGrowRequests() uint64 { return m.appGrowMsgs }
 
-// voluntaryShrinkSite asks the site's malleable jobs *politely* for need
-// processors, latest-started first (the FPSMA shrink order), and returns
-// how many they agreed to release. Jobs decline freely (§II-D).
-func (m *Manager) voluntaryShrinkSite(site *koala.Site, need int) int {
-	jobs := m.sched.RunningMalleableJobs(site.Name())
+// voluntaryShrinkSiteAt asks the malleable jobs of site i *politely* for
+// need processors, latest-started first (the FPSMA shrink order), and
+// returns how many they agreed to release. Jobs decline freely (§II-D).
+func (m *Manager) voluntaryShrinkSiteAt(i, need int) int {
+	jobs := m.sched.RunningMalleableJobsAt(i)
 	total := 0
 	for i := len(jobs) - 1; i >= 0 && need > 0; i-- {
 		mr := jobs[i].MRunner()
@@ -90,28 +85,28 @@ func (PWAVoluntary) OnProcessorsAvailable(m *Manager) {
 func (PWAVoluntary) OnPlacementBlocked(m *Manager, j *koala.Job) bool {
 	need := j.Spec.TotalSize()
 	snap := m.sched.KIS().Last()
-	var best *koala.Site
+	best := -1
 	bestShort := 0
-	for _, site := range m.sched.Sites() {
-		idle := snap.Idle(site.Name()) - m.sched.PendingClaims(site.Name()) - m.inflightGrowth(site.Name())
+	for i := range m.sched.Sites() {
+		idle := snap.IdleAt(i) - m.sched.PendingClaimsAt(i) - m.inflightGrowthAt(i)
 		short := need - idle
 		if short <= 0 {
 			return false
 		}
-		if m.shrinkable(site) >= short {
-			if best == nil || short < bestShort {
-				best = site
+		if m.shrinkableAt(i) >= short {
+			if best < 0 || short < bestShort {
+				best = i
 				bestShort = short
 			}
 		}
 	}
-	if best == nil {
+	if best < 0 {
 		m.growAll(snap)
 		return false
 	}
-	released := m.voluntaryShrinkSite(best, bestShort)
+	released := m.voluntaryShrinkSiteAt(best, bestShort)
 	if released < bestShort {
-		m.shrinkSite(best, bestShort-released)
+		m.shrinkSiteAt(best, bestShort-released)
 	}
 	return true
 }

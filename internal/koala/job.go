@@ -113,6 +113,9 @@ type Job struct {
 
 	state JobState
 	tries int
+	// seq is the submission sequence number (position in Scheduler.Jobs());
+	// it breaks start-time ties in the running-malleable-job order.
+	seq int
 
 	submitTime float64
 	placeTime  float64
@@ -127,9 +130,10 @@ type Job struct {
 	coRunner *runner.CoRunner
 	// sites records where each placed component landed.
 	sites []*Site
-	// claims records the processors claimed per site while GRAM submissions
-	// are in flight; cleared when the job starts.
-	claims map[string]int
+	// claims records the processors claimed per site (by the scheduler's
+	// dense site index) while GRAM submissions are in flight; cleared when
+	// the job starts.
+	claims []int
 
 	componentsRunning  int
 	componentsFinished int

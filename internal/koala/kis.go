@@ -18,23 +18,81 @@ type NetworkInfo struct {
 	BandwidthMBps float64
 }
 
+// siteIndex is the fixed name↔dense-index mapping of a grid's sites. Sites
+// never change after construction, so one index is shared by every snapshot
+// and by the scheduler's per-site bookkeeping slices.
+type siteIndex struct {
+	names  []string
+	byName map[string]int
+}
+
+func newSiteIndex(names []string) *siteIndex {
+	idx := &siteIndex{names: names, byName: make(map[string]int, len(names))}
+	for i, n := range names {
+		idx.byName[n] = i
+	}
+	return idx
+}
+
 // Snapshot is one consistent view of the grid as assembled by the KOALA
 // information service. Scheduling and malleability decisions are made
 // against snapshots, never against live cluster state — this is what makes
 // the scheduler resilient to (and aware of) background load only at polling
 // granularity.
+//
+// A snapshot is backed by a slice indexed by the grid's stable site index
+// (position i is the i-th site handed to NewKIS). Snapshots returned by
+// KIS.Refresh reuse buffers: a snapshot stays valid until the next-but-one
+// Refresh, which covers every consumer in the polling loop (all consume the
+// snapshot within the event that obtained it).
 type Snapshot struct {
-	Time       float64
-	Processors map[string]ProcessorInfo
+	Time float64
+
+	procs []ProcessorInfo
+	idx   *siteIndex
+}
+
+// NewSnapshot builds a standalone snapshot over parallel name/info slices
+// (position i of infos describes names[i]). It is intended for tests and
+// tools; the scheduler's snapshots come from KIS.Refresh.
+func NewSnapshot(time float64, names []string, infos []ProcessorInfo) Snapshot {
+	if len(names) != len(infos) {
+		panic("koala: NewSnapshot with mismatched names/infos")
+	}
+	return Snapshot{Time: time, procs: infos, idx: newSiteIndex(names)}
+}
+
+// Len returns the number of sites in the snapshot.
+func (s Snapshot) Len() int { return len(s.procs) }
+
+// At returns the processor info of the site with dense index i.
+func (s Snapshot) At(i int) ProcessorInfo { return s.procs[i] }
+
+// IdleAt returns the idle processor count of the site with dense index i.
+func (s Snapshot) IdleAt(i int) int { return s.procs[i].Idle }
+
+// SiteName returns the name of the site with dense index i.
+func (s Snapshot) SiteName(i int) string { return s.idx.names[i] }
+
+// Info returns the processor info of the named cluster (zero if unknown).
+func (s Snapshot) Info(site string) ProcessorInfo {
+	if s.idx == nil {
+		return ProcessorInfo{}
+	}
+	i, ok := s.idx.byName[site]
+	if !ok {
+		return ProcessorInfo{}
+	}
+	return s.procs[i]
 }
 
 // Idle returns the idle processor count of the named cluster (0 if unknown).
-func (s Snapshot) Idle(site string) int { return s.Processors[site].Idle }
+func (s Snapshot) Idle(site string) int { return s.Info(site).Idle }
 
 // TotalIdle sums idle processors over all clusters.
 func (s Snapshot) TotalIdle() int {
 	total := 0
-	for _, p := range s.Processors {
+	for _, p := range s.procs {
 		total += p.Idle
 	}
 	return total
@@ -46,16 +104,30 @@ func (s Snapshot) TotalIdle() int {
 type KIS struct {
 	engine *sim.Engine
 	sites  []*Site
+	idx    *siteIndex
 
 	latency map[[2]string]NetworkInfo
 
 	refreshes uint64
-	last      Snapshot
+	// bufs double-buffer the snapshot storage: Refresh writes into the
+	// buffer the *previous* snapshot does not use, so the hot path never
+	// allocates and the most recent Last() snapshot is never overwritten
+	// by the next Refresh (only by the one after it).
+	bufs [2][]ProcessorInfo
+	cur  int
+	last Snapshot
 }
 
-// NewKIS builds the information service over the given sites.
+// NewKIS builds the information service over the given sites. The order of
+// sites defines the grid's stable site index.
 func NewKIS(engine *sim.Engine, sites []*Site) *KIS {
-	k := &KIS{engine: engine, sites: sites, latency: make(map[[2]string]NetworkInfo)}
+	names := make([]string, len(sites))
+	for i, s := range sites {
+		names[i] = s.Name()
+	}
+	k := &KIS{engine: engine, sites: sites, idx: newSiteIndex(names), latency: make(map[[2]string]NetworkInfo)}
+	k.bufs[0] = make([]ProcessorInfo, len(sites))
+	k.bufs[1] = make([]ProcessorInfo, len(sites))
 	k.Refresh()
 	return k
 }
@@ -73,14 +145,16 @@ func (k *KIS) Network(from, to string) NetworkInfo {
 
 // Refresh polls the providers and captures a new snapshot, returning it.
 // The scheduler calls this on its polling tick (§V-B), which is how changes
-// in background load become visible.
+// in background load become visible. The returned snapshot reuses pooled
+// storage and stays valid until the next-but-one Refresh.
 func (k *KIS) Refresh() Snapshot {
-	procs := make(map[string]ProcessorInfo, len(k.sites))
-	for _, s := range k.sites {
-		procs[s.Name()] = ProcessorInfo{Total: s.Cluster().Nodes(), Idle: s.Cluster().Idle()}
+	k.cur ^= 1
+	buf := k.bufs[k.cur]
+	for i, s := range k.sites {
+		buf[i] = ProcessorInfo{Total: s.Cluster().Nodes(), Idle: s.Cluster().Idle()}
 	}
 	k.refreshes++
-	k.last = Snapshot{Time: k.engine.Now(), Processors: procs}
+	k.last = Snapshot{Time: k.engine.Now(), procs: buf, idx: k.idx}
 	return k.last
 }
 

@@ -1,0 +1,98 @@
+package koala
+
+import "testing"
+
+// TestRefreshDoesNotAliasPreviousSnapshot pins the double-buffer contract:
+// the snapshot returned by one Refresh keeps its values when the *next*
+// Refresh reuses pooled storage.
+func TestRefreshDoesNotAliasPreviousSnapshot(t *testing.T) {
+	_, sites, kis := testbed(t, 20, 30)
+	snap1 := kis.Refresh()
+	if snap1.Idle("A") != 20 || snap1.Idle("B") != 30 {
+		t.Fatalf("snap1 = %+v", snap1)
+	}
+	sites[0].Cluster().SeizeBackground(8)
+	snap2 := kis.Refresh()
+	if snap2.Idle("A") != 12 {
+		t.Fatalf("snap2.Idle(A) = %d, want 12", snap2.Idle("A"))
+	}
+	// snap1 must be untouched by snap2's buffer reuse.
+	if snap1.Idle("A") != 20 || snap1.TotalIdle() != 50 {
+		t.Fatalf("previous snapshot mutated by Refresh: %+v", snap1)
+	}
+}
+
+func TestRefreshIsAllocationFree(t *testing.T) {
+	_, _, kis := testbed(t, 20, 30, 40)
+	allocs := testing.AllocsPerRun(100, func() {
+		kis.Refresh()
+	})
+	if allocs > 0 {
+		t.Fatalf("Refresh allocates %.1f objects, want 0", allocs)
+	}
+}
+
+func TestSnapshotIndexAccessors(t *testing.T) {
+	snap := NewSnapshot(7, []string{"X", "Y"}, []ProcessorInfo{{Total: 8, Idle: 3}, {Total: 4, Idle: 4}})
+	if snap.Len() != 2 || snap.Time != 7 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	if snap.SiteName(0) != "X" || snap.IdleAt(1) != 4 || snap.At(0).Total != 8 {
+		t.Fatal("index accessors wrong")
+	}
+	if snap.Idle("Y") != 4 || snap.Idle("nope") != 0 {
+		t.Fatal("name accessors wrong")
+	}
+	if snap.TotalIdle() != 7 {
+		t.Fatalf("TotalIdle = %d", snap.TotalIdle())
+	}
+	if (Snapshot{}).Idle("X") != 0 {
+		t.Fatal("zero snapshot should report 0 idle")
+	}
+}
+
+func TestNewSnapshotMismatchedLengthsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched names/infos did not panic")
+		}
+	}()
+	NewSnapshot(0, []string{"A"}, nil)
+}
+
+// TestPlacementViewIsAllocationFree pins that a placement attempt's
+// adjusted view reuses the scheduler's scratch buffer.
+func TestPlacementViewIsAllocationFree(t *testing.T) {
+	_, _, s := newSched(t, fastCfg(), 16, 16)
+	allocs := testing.AllocsPerRun(100, func() {
+		s.placementView()
+	})
+	if allocs > 0 {
+		t.Fatalf("placementView allocates %.1f objects, want 0", allocs)
+	}
+}
+
+// BenchmarkSnapshotRefresh measures the KIS polling cost over the DAS-3
+// scale (five sites), the per-tick unit of work of the §V-B loop.
+func BenchmarkSnapshotRefresh(b *testing.B) {
+	_, _, kis := testbed(b, 85, 32, 41, 68, 46)
+	b.ReportAllocs()
+	b.ResetTimer()
+	total := 0
+	for i := 0; i < b.N; i++ {
+		snap := kis.Refresh()
+		total += snap.TotalIdle()
+	}
+	_ = total
+}
+
+// BenchmarkPlacementView measures the claims-adjusted snapshot built for
+// every placement attempt.
+func BenchmarkPlacementView(b *testing.B) {
+	_, _, s := newSched(b, fastCfg(), 85, 32, 41, 68, 46)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.placementView()
+	}
+}

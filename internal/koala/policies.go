@@ -17,9 +17,12 @@ type ComponentPlacement struct {
 
 // PlacementPolicy decides where job components run (§IV-A). Place returns
 // the placements and true on success, or nil and false when the job cannot
-// be placed under the current snapshot. Policies must not mutate the
-// snapshot and must account for their own placements when placing multiple
-// components (a component consumes idle processors for subsequent ones).
+// be placed under the current snapshot. snap must be indexed in sites
+// order (position i describes sites[i]), which is how the scheduler and
+// KIS always build snapshots. Policies must not mutate or retain the
+// snapshot (it may be backed by reusable scratch) and must account for
+// their own placements when placing multiple components (a component
+// consumes idle processors for subsequent ones).
 type PlacementPolicy interface {
 	Name() string
 	Place(spec *JobSpec, snap Snapshot, kis *KIS, sites []*Site) ([]ComponentPlacement, bool)
@@ -30,12 +33,13 @@ type PlacementPolicy interface {
 type siteView struct {
 	site *Site
 	idle int
+	used bool // this job already placed a component here (CM)
 }
 
-func newViews(snap Snapshot, sites []*Site) []*siteView {
-	views := make([]*siteView, len(sites))
+func newViews(snap Snapshot, sites []*Site) []siteView {
+	views := make([]siteView, len(sites))
 	for i, s := range sites {
-		views[i] = &siteView{site: s, idle: snap.Idle(s.Name())}
+		views[i] = siteView{site: s, idle: snap.IdleAt(i)}
 	}
 	return views
 }
@@ -56,7 +60,8 @@ func (WorstFit) Place(spec *JobSpec, snap Snapshot, _ *KIS, sites []*Site) ([]Co
 		// Pick the view with the most idle processors; ties break on site
 		// declaration order for determinism.
 		var best *siteView
-		for _, v := range views {
+		for i := range views {
+			v := &views[i]
 			if v.idle >= comp.Size && (best == nil || v.idle > best.idle) {
 				best = v
 			}
@@ -96,9 +101,9 @@ func (CloseToFiles) Place(spec *JobSpec, snap Snapshot, _ *KIS, sites []*Site) (
 	placements := make([]ComponentPlacement, 0, len(spec.Components))
 	for ci, comp := range spec.Components {
 		candidates := make([]*siteView, 0, len(views))
-		for _, v := range views {
-			if v.idle >= comp.Size {
-				candidates = append(candidates, v)
+		for i := range views {
+			if views[i].idle >= comp.Size {
+				candidates = append(candidates, &views[i])
 			}
 		}
 		if len(candidates) == 0 {
@@ -132,7 +137,6 @@ func (ClusterMinimization) Name() string { return "CM" }
 // Place implements PlacementPolicy.
 func (ClusterMinimization) Place(spec *JobSpec, snap Snapshot, _ *KIS, sites []*Site) ([]ComponentPlacement, bool) {
 	views := newViews(snap, sites)
-	used := make(map[*siteView]bool)
 
 	order := make([]int, len(spec.Components))
 	for i := range order {
@@ -147,13 +151,15 @@ func (ClusterMinimization) Place(spec *JobSpec, snap Snapshot, _ *KIS, sites []*
 		comp := spec.Components[ci]
 		var best *siteView
 		// Prefer clusters already used by this job.
-		for _, v := range views {
-			if used[v] && v.idle >= comp.Size && (best == nil || v.idle < best.idle) {
+		for i := range views {
+			v := &views[i]
+			if v.used && v.idle >= comp.Size && (best == nil || v.idle < best.idle) {
 				best = v
 			}
 		}
 		if best == nil {
-			for _, v := range views {
+			for i := range views {
+				v := &views[i]
 				if v.idle >= comp.Size && (best == nil || v.idle < best.idle) {
 					best = v
 				}
@@ -163,7 +169,7 @@ func (ClusterMinimization) Place(spec *JobSpec, snap Snapshot, _ *KIS, sites []*
 			return nil, false
 		}
 		best.idle -= comp.Size
-		used[best] = true
+		best.used = true
 		placements[ci] = ComponentPlacement{Component: ci, Site: best.site, Size: comp.Size}
 	}
 	return placements, true

@@ -10,7 +10,7 @@ import (
 )
 
 // testbed builds three small sites with the given node counts.
-func testbed(t *testing.T, nodes ...int) (*sim.Engine, []*Site, *KIS) {
+func testbed(t testing.TB, nodes ...int) (*sim.Engine, []*Site, *KIS) {
 	t.Helper()
 	e := sim.New()
 	clusters := make([]*cluster.Cluster, len(nodes))

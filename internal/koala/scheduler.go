@@ -2,7 +2,6 @@ package koala
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/app"
 	"repro/internal/runner"
@@ -24,12 +23,13 @@ type Hooks interface {
 	// PWA it shrinks running malleable jobs to make room; it returns true
 	// when room is being made (so the scheduler stops scanning this round).
 	PlacementBlocked(j *Job) bool
-	// Reserved reports processors of the named site that the malleability
-	// manager has granted to growing jobs but that are not yet held (stub
-	// submissions in flight). The processor claimer subtracts them from
-	// every placement view so that newly arriving jobs cannot double-book
-	// processors already promised to running applications.
-	Reserved(site string) int
+	// Reserved reports processors of the site with the given dense index
+	// (the scheduler's Sites() order) that the malleability manager has
+	// granted to growing jobs but that are not yet held (stub submissions
+	// in flight). The processor claimer subtracts them from every placement
+	// view so that newly arriving jobs cannot double-book processors
+	// already promised to running applications.
+	Reserved(siteIndex int) int
 }
 
 // Config holds the scheduler's tunables.
@@ -73,12 +73,27 @@ type Scheduler struct {
 	queue []*Job
 	jobs  []*Job
 
-	// pending counts processors claimed for placed jobs whose GRAM
-	// submissions are still in flight. The processor claimer subtracts them
-	// from every placement view so the submission latency cannot cause
-	// double-booking (§IV-A's claiming policy, adapted to immediate
-	// claiming).
-	pending map[string]int
+	// siteOf maps a site back to its dense index (the position in sites),
+	// which keys every per-site slice below.
+	siteOf map[*Site]int
+
+	// pending counts processors (by site index) claimed for placed jobs
+	// whose GRAM submissions are still in flight. The processor claimer
+	// subtracts them from every placement view so the submission latency
+	// cannot cause double-booking (§IV-A's claiming policy, adapted to
+	// immediate claiming).
+	pending []int
+
+	// running holds, per site index, the running malleable jobs sorted by
+	// (start time, submission order) — the order both malleability policies
+	// consume (§V-C). It is maintained incrementally on job start/finish so
+	// RunningMalleableJobs is O(jobs-on-site) instead of rescanning every
+	// job ever submitted.
+	running [][]*Job
+
+	// viewBuf is the reusable scratch backing of placementView's adjusted
+	// snapshot; it is valid only for the duration of one placement attempt.
+	viewBuf []ProcessorInfo
 
 	hooks  Hooks
 	ticker *sim.Ticker
@@ -104,10 +119,22 @@ func NewScheduler(engine *sim.Engine, sites []*Site, cfg Config) *Scheduler {
 		sites:   sites,
 		kis:     NewKIS(engine, sites),
 		cfg:     cfg,
-		pending: make(map[string]int),
+		siteOf:  make(map[*Site]int, len(sites)),
+		pending: make([]int, len(sites)),
+		running: make([][]*Job, len(sites)),
+		viewBuf: make([]ProcessorInfo, len(sites)),
+	}
+	for i, site := range sites {
+		s.siteOf[site] = i
 	}
 	s.ticker = sim.NewTicker(engine, cfg.PollInterval, s.pollTick)
 	return s
+}
+
+// SiteIndex returns the dense index of the named site in Sites() order.
+func (s *Scheduler) SiteIndex(name string) (int, bool) {
+	i, ok := s.kis.idx.byName[name]
+	return i, ok
 }
 
 // KIS returns the scheduler's information service.
@@ -136,19 +163,49 @@ func (s *Scheduler) QueueLength() int { return len(s.queue) }
 func (s *Scheduler) QueuedJobs() []*Job { return s.queue }
 
 // RunningMalleableJobs returns the malleable jobs currently running on the
-// named site, sorted by increasing start time (the order both malleability
-// policies consume, §V-C).
+// named site, sorted by increasing start time with ties in submission order
+// (the order both malleability policies consume, §V-C). The returned slice
+// is the scheduler's live index: callers must not modify it, and it is
+// valid only until the next job start or finish.
 func (s *Scheduler) RunningMalleableJobs(site string) []*Job {
-	var out []*Job
-	for _, j := range s.jobs {
-		if j.state == Running && j.Malleable() && j.Site() != nil && j.Site().Name() == site {
-			out = append(out, j)
+	i, ok := s.kis.idx.byName[site]
+	if !ok {
+		return nil
+	}
+	return s.running[i]
+}
+
+// RunningMalleableJobsAt is RunningMalleableJobs by dense site index.
+func (s *Scheduler) RunningMalleableJobsAt(i int) []*Job { return s.running[i] }
+
+// insertRunning adds a just-started malleable job to its site's index,
+// keeping the (start time, submission order) sort. Start times are assigned
+// from the monotone simulation clock, so the job belongs at the tail except
+// for same-instant ties, where submission order decides (the order the
+// previous full stable sort produced).
+func (s *Scheduler) insertRunning(i int, j *Job) {
+	lst := append(s.running[i], j)
+	k := len(lst) - 1
+	for k > 0 && (lst[k-1].startTime > j.startTime ||
+		(lst[k-1].startTime == j.startTime && lst[k-1].seq > j.seq)) {
+		lst[k] = lst[k-1]
+		k--
+	}
+	lst[k] = j
+	s.running[i] = lst
+}
+
+// removeRunning drops a finished malleable job from its site's index.
+func (s *Scheduler) removeRunning(i int, j *Job) {
+	lst := s.running[i]
+	for k, q := range lst {
+		if q == j {
+			copy(lst[k:], lst[k+1:])
+			lst[len(lst)-1] = nil
+			s.running[i] = lst[:len(lst)-1]
+			return
 		}
 	}
-	// Jobs are stored in submission order; start times are monotone within
-	// a site only by accident, so sort explicitly (stable on ties).
-	sort.SliceStable(out, func(a, b int) bool { return out[a].startTime < out[b].startTime })
-	return out
 }
 
 // pollTick is the periodic heartbeat: refresh the KIS (discovering
@@ -171,7 +228,7 @@ func (s *Scheduler) Submit(spec JobSpec) (*Job, error) {
 	if spec.ID == "" {
 		spec.ID = fmt.Sprintf("job-%d", len(s.jobs))
 	}
-	j := &Job{Spec: spec, state: Waiting, submitTime: s.engine.Now()}
+	j := &Job{Spec: spec, state: Waiting, submitTime: s.engine.Now(), seq: len(s.jobs)}
 	s.jobs = append(s.jobs, j)
 	if !s.tryPlace(j) {
 		s.queue = append(s.queue, j)
@@ -234,24 +291,35 @@ func (s *Scheduler) ScanQueue() {
 
 // PendingClaims returns the processors claimed on the named site for jobs
 // whose GRAM submissions are still in flight.
-func (s *Scheduler) PendingClaims(site string) int { return s.pending[site] }
+func (s *Scheduler) PendingClaims(site string) int {
+	i, ok := s.kis.idx.byName[site]
+	if !ok {
+		return 0
+	}
+	return s.pending[i]
+}
+
+// PendingClaimsAt is PendingClaims by dense site index.
+func (s *Scheduler) PendingClaimsAt(i int) int { return s.pending[i] }
 
 // placementView returns a fresh snapshot with in-flight claims and the
-// malleability manager's in-flight growth reservations subtracted.
+// malleability manager's in-flight growth reservations subtracted. The
+// returned snapshot is backed by a reusable scratch buffer: it is valid
+// only for the placement attempt it was built for.
 func (s *Scheduler) placementView() Snapshot {
 	snap := s.kis.Refresh()
-	adj := Snapshot{Time: snap.Time, Processors: make(map[string]ProcessorInfo, len(snap.Processors))}
-	for name, info := range snap.Processors {
-		info.Idle -= s.pending[name]
+	for i := range s.sites {
+		info := snap.At(i)
+		info.Idle -= s.pending[i]
 		if s.hooks != nil {
-			info.Idle -= s.hooks.Reserved(name)
+			info.Idle -= s.hooks.Reserved(i)
 		}
 		if info.Idle < 0 {
 			info.Idle = 0
 		}
-		adj.Processors[name] = info
+		s.viewBuf[i] = info
 	}
-	return adj
+	return Snapshot{Time: snap.Time, procs: s.viewBuf, idx: s.kis.idx}
 }
 
 // tryPlace runs the placement policy against a claims-adjusted snapshot
@@ -277,11 +345,12 @@ func (s *Scheduler) tryPlace(j *Job) bool {
 func (s *Scheduler) claim(j *Job, placements []ComponentPlacement) {
 	j.state = Placing
 	j.placeTime = s.engine.Now()
-	j.claims = make(map[string]int, len(placements))
+	j.claims = make([]int, len(s.sites))
 	for _, p := range placements {
 		j.sites = append(j.sites, p.Site)
-		j.claims[p.Site.Name()] += p.Size
-		s.pending[p.Site.Name()] += p.Size
+		si := s.siteOf[p.Site]
+		j.claims[si] += p.Size
+		s.pending[si] += p.Size
 	}
 	cb := runner.Callbacks{
 		OnStarted:  func() { s.jobStarted(j) },
@@ -308,13 +377,13 @@ func (s *Scheduler) claim(j *Job, placements []ComponentPlacement) {
 		comp := j.Spec.Components[placements[0].Component]
 		size := placements[0].Size
 		if comp.Profile.Class == app.Moldable && s.cfg.MoldableSizing != nil {
-			idle := s.kis.Last().Idle(placements[0].Site.Name())
+			si := s.siteOf[placements[0].Site]
+			idle := s.kis.Last().IdleAt(si)
 			size = clamp(s.cfg.MoldableSizing(comp.Profile.Min, comp.Profile.Max, idle+size), comp.Profile.Min, comp.Profile.Max)
 			// Moldable sizing may differ from the placed size: keep the
 			// claim accounting in sync.
-			site := placements[0].Site.Name()
-			j.claims[site] += size - placements[0].Size
-			s.pending[site] += size - placements[0].Size
+			j.claims[si] += size - placements[0].Size
+			s.pending[si] += size - placements[0].Size
 		}
 		rr, err := runner.NewRigidRunner(s.engine, placements[0].Site.Gram(), comp.Profile, size, cb)
 		if err != nil {
@@ -356,13 +425,17 @@ func (s *Scheduler) jobStarted(j *Job) {
 	j.state = Running
 	j.startTime = s.engine.Now()
 	// The job's processors are now held at the clusters; drop the claims.
-	for site, n := range j.claims {
-		s.pending[site] -= n
-		if s.pending[site] <= 0 {
-			delete(s.pending, site)
+	for si, n := range j.claims {
+		if n != 0 {
+			s.pending[si] -= n
 		}
 	}
 	j.claims = nil
+	if j.Malleable() {
+		if site := j.Site(); site != nil {
+			s.insertRunning(s.siteOf[site], j)
+		}
+	}
 	if s.OnJobStarted != nil {
 		s.OnJobStarted(j)
 	}
@@ -371,6 +444,11 @@ func (s *Scheduler) jobStarted(j *Job) {
 func (s *Scheduler) jobFinished(j *Job) {
 	j.state = Finished
 	j.endTime = s.engine.Now()
+	if j.Malleable() {
+		if site := j.Site(); site != nil {
+			s.removeRunning(s.siteOf[site], j)
+		}
+	}
 	if s.OnJobFinished != nil {
 		s.OnJobFinished(j)
 	}

@@ -11,7 +11,7 @@ import (
 	"repro/internal/sim"
 )
 
-func newSched(t *testing.T, cfg Config, nodes ...int) (*sim.Engine, []*Site, *Scheduler) {
+func newSched(t testing.TB, cfg Config, nodes ...int) (*sim.Engine, []*Site, *Scheduler) {
 	t.Helper()
 	e := sim.New()
 	clusters := make([]*cluster.Cluster, len(nodes))
@@ -201,6 +201,33 @@ func TestRunningMalleableJobsSortedByStart(t *testing.T) {
 	s.Stop()
 }
 
+// TestRunningIndexTieBreaksBySubmissionOrder pins the incremental index to
+// the order the former full stable sort produced: increasing start time,
+// ties in submission order — even when same-instant jobs start out of
+// submission order.
+func TestRunningIndexTieBreaksBySubmissionOrder(t *testing.T) {
+	_, _, s := newSched(t, fastCfg(), 48)
+	mk := func(seq int, start float64) *Job {
+		return &Job{Spec: malleableSpec("j", app.GadgetProfile(), 2), state: Running, seq: seq, startTime: start}
+	}
+	early := mk(2, 5)
+	second := mk(1, 10) // same instant as first, submitted later
+	first := mk(0, 10)
+	s.insertRunning(0, early)
+	s.insertRunning(0, second)
+	s.insertRunning(0, first)
+	got := s.RunningMalleableJobsAt(0)
+	if len(got) != 3 || got[0] != early || got[1] != first || got[2] != second {
+		t.Fatalf("index order = %v, want [early first second]", got)
+	}
+	s.removeRunning(0, first)
+	got = s.RunningMalleableJobsAt(0)
+	if len(got) != 2 || got[0] != early || got[1] != second {
+		t.Fatalf("after removal: %v", got)
+	}
+	s.Stop()
+}
+
 func TestMoldableSizing(t *testing.T) {
 	cfg := fastCfg()
 	cfg.MoldableSizing = func(min, max, idle int) int { return max }
@@ -239,7 +266,7 @@ type recordingHooks struct {
 func (h *recordingHooks) Poll(Snapshot)              { h.polls++ }
 func (h *recordingHooks) ProcessorsAvailable()       { h.avail++ }
 func (h *recordingHooks) PlacementBlocked(*Job) bool { h.blocked++; return h.blockReturn }
-func (h *recordingHooks) Reserved(string) int        { return 0 }
+func (h *recordingHooks) Reserved(int) int           { return 0 }
 
 func TestPlacementBlockedHookStopsScan(t *testing.T) {
 	e, _, s := newSched(t, fastCfg(), 4)
