@@ -76,6 +76,24 @@ func NewExecution(engine *sim.Engine, profile *Profile, procs int, onFinish func
 	return x
 }
 
+// Event op codes for the Execution's sim.Handler implementation: the
+// finish and auto-resume events fire on the execution itself, so the
+// frequent reschedule path allocates no bound-method closures.
+const (
+	opFinish = iota
+	opResume
+)
+
+// OnEvent implements sim.Handler.
+func (x *Execution) OnEvent(op int) {
+	switch op {
+	case opFinish:
+		x.finish()
+	case opResume:
+		x.Resume()
+	}
+}
+
 // Profile returns the application profile.
 func (x *Execution) Profile() *Profile { return x.profile }
 
@@ -145,7 +163,7 @@ func (x *Execution) reschedule() {
 		return // paused: finish is rescheduled on resume
 	}
 	remaining := (1 - x.progress) / r
-	x.finishEv = x.engine.After(remaining, x.finish)
+	x.finishEv = x.engine.AfterOp(remaining, x, opFinish)
 }
 
 func (x *Execution) finish() {
@@ -220,7 +238,7 @@ func (x *Execution) PauseFor(d float64) {
 		return
 	}
 	x.Pause()
-	x.engine.After(d, x.Resume)
+	x.engine.AfterOp(d, x, opResume)
 }
 
 // Abort cancels the execution without firing onFinish (used when a job is

@@ -24,6 +24,11 @@ type Cluster struct {
 
 	used       int // nodes held by Allocations (grid jobs)
 	background int // nodes seized directly by local users
+
+	// arena batch-allocates Allocation handles (the malleable runners
+	// churn through one per size-1 GRAM stub); handles are never reused,
+	// batching only cuts the per-allocation count.
+	arena []Allocation
 }
 
 // New creates a cluster with the given name and node count.
@@ -83,7 +88,14 @@ func (c *Cluster) Allocate(n int) (*Allocation, error) {
 	}
 	c.used += n
 	c.checkInvariant()
-	return &Allocation{cluster: c, nodes: n}, nil
+	if len(c.arena) == 0 {
+		c.arena = make([]Allocation, 64)
+	}
+	a := &c.arena[0]
+	c.arena = c.arena[1:]
+	a.cluster = c
+	a.nodes = n
+	return a, nil
 }
 
 // SeizeBackground marks n idle nodes as taken by local users who bypass the

@@ -104,6 +104,10 @@ func planShrink(accepted int) Plan {
 	return Plan{Actions: []Action{{OpRelease, accepted}}}
 }
 
+// maxPlanActions bounds the in-place action buffer of the framework; both
+// plan shapes above fit.
+const maxPlanActions = 2
+
 // Handler executes individual actions on behalf of the framework. The
 // Malleable Runner implements it against GRAM and the application process;
 // tests implement it directly. Each method calls done exactly once when the
@@ -133,8 +137,24 @@ type Framework struct {
 
 	onResult func(Result)
 
-	busy    bool
-	pending []Event
+	busy bool
+	// pending is a head-indexed FIFO of queued events (re-slicing from the
+	// front would force an append reallocation per Notify under churn).
+	pending     []Event
+	pendingHead int
+
+	// Current adaptation, executed as a small state machine: the action
+	// list lives in a fixed buffer and the handler's completion callbacks
+	// are the two method values below, bound once at New — the §V-C hot
+	// path allocates neither plans nor per-action closures.
+	curEv       Event
+	curActions  [maxPlanActions]Action
+	curLen      int
+	curIdx      int
+	curAccepted int
+
+	acquireDone func(held int)
+	stepDone    func()
 
 	adaptations uint64
 }
@@ -146,13 +166,16 @@ func New(engine *sim.Engine, strategy Strategy, handler Handler, size func() int
 	if strategy == nil || handler == nil || size == nil {
 		panic("dynaco: nil component")
 	}
-	return &Framework{
+	f := &Framework{
 		engine:   engine,
 		strategy: strategy,
 		handler:  handler,
 		size:     size,
 		onResult: onResult,
 	}
+	f.acquireDone = f.onAcquireDone
+	f.stepDone = f.onStepDone
+	return f
 }
 
 // Adaptations returns how many adaptations have completed (grow or shrink,
@@ -163,7 +186,7 @@ func (f *Framework) Adaptations() uint64 { return f.adaptations }
 func (f *Framework) Busy() bool { return f.busy }
 
 // PendingEvents returns the number of queued, unprocessed events.
-func (f *Framework) PendingEvents() int { return len(f.pending) }
+func (f *Framework) PendingEvents() int { return len(f.pending) - f.pendingHead }
 
 // Notify is the observe component's entry point: the monitor delivers an
 // event, and the control loop runs decide → plan → execute.
@@ -173,11 +196,15 @@ func (f *Framework) Notify(ev Event) {
 }
 
 func (f *Framework) drain() {
-	if f.busy || len(f.pending) == 0 {
+	if f.busy || f.pendingHead == len(f.pending) {
 		return
 	}
-	ev := f.pending[0]
-	f.pending = f.pending[1:]
+	ev := f.pending[f.pendingHead]
+	f.pendingHead++
+	if f.pendingHead == len(f.pending) {
+		f.pending = f.pending[:0]
+		f.pendingHead = 0
+	}
 	f.process(ev)
 }
 
@@ -196,51 +223,65 @@ func (f *Framework) process(ev Event) {
 		f.finish(ev, 0)
 		return
 	}
-	var plan Plan
+	f.curEv = ev
+	f.curIdx = 0
+	f.curAccepted = accepted
 	if ev.Kind == GrowRequest {
-		plan = planGrow(accepted)
+		f.curActions[0] = Action{OpAcquire, accepted}
+		f.curActions[1] = Action{OpRecruit, accepted}
+		f.curLen = 2
 	} else {
-		plan = planShrink(accepted)
+		f.curActions[0] = Action{OpRelease, accepted}
+		f.curLen = 1
 	}
 	f.busy = true
-	f.execute(ev, plan, 0, accepted)
+	f.step()
 }
 
-// execute runs plan actions sequentially; each action's completion schedules
-// the next through the handler's callback.
-func (f *Framework) execute(ev Event, plan Plan, idx, accepted int) {
-	if idx >= len(plan.Actions) {
+// step runs the current action; each action's completion re-enters through
+// the pre-bound acquireDone/stepDone callbacks, so one adaptation executes
+// as a closure-free state machine.
+func (f *Framework) step() {
+	if f.curIdx >= f.curLen {
 		f.busy = false
-		f.finish(ev, accepted)
+		f.finish(f.curEv, f.curAccepted)
 		f.drain()
 		return
 	}
-	act := plan.Actions[idx]
-	next := func() { f.execute(ev, plan, idx+1, accepted) }
+	act := f.curActions[f.curIdx]
 	switch act.Op {
 	case OpAcquire:
-		f.handler.Acquire(act.N, func(held int) {
-			if held < act.N {
-				// The environment delivered fewer processors than planned:
-				// adapt the rest of the plan to what is actually held.
-				accepted = held
-				if held == 0 {
-					f.busy = false
-					f.finish(ev, 0)
-					f.drain()
-					return
-				}
-				plan.Actions[idx+1].N = held
-			}
-			next()
-		})
+		f.handler.Acquire(act.N, f.acquireDone)
 	case OpRecruit:
-		f.handler.Recruit(act.N, func() { next() })
+		f.handler.Recruit(act.N, f.stepDone)
 	case OpRelease:
-		f.handler.Release(act.N, func() { next() })
+		f.handler.Release(act.N, f.stepDone)
 	default:
 		panic(fmt.Sprintf("dynaco: unknown op %v", act.Op))
 	}
+}
+
+// onAcquireDone resumes the plan after an acquisition completed, adapting
+// the remainder to what the environment actually delivered.
+func (f *Framework) onAcquireDone(held int) {
+	if held < f.curActions[f.curIdx].N {
+		f.curAccepted = held
+		if held == 0 {
+			f.busy = false
+			f.finish(f.curEv, 0)
+			f.drain()
+			return
+		}
+		f.curActions[f.curIdx+1].N = held
+	}
+	f.curIdx++
+	f.step()
+}
+
+// onStepDone resumes the plan after a recruit or release completed.
+func (f *Framework) onStepDone() {
+	f.curIdx++
+	f.step()
 }
 
 func (f *Framework) finish(ev Event, accepted int) {

@@ -78,9 +78,9 @@ func (s State) String() string {
 // Job is one GRAM job (size-1 for the Malleable Runner's stubs, arbitrary
 // size for rigid jobs).
 type Job struct {
-	ID    string
 	Nodes int
 
+	seq      int
 	state    State
 	lrmJob   *lrm.Job
 	svc      *Service
@@ -88,8 +88,34 @@ type Job struct {
 	released bool // release requested (possibly while still in flight)
 }
 
+// ID returns the job's identifier. It is formatted lazily: the hot path
+// never pays for a per-submission string.
+func (j *Job) ID() string { return fmt.Sprintf("gram-%s-%d", j.svc.SiteName(), j.seq) }
+
 // State returns the job's lifecycle state.
 func (j *Job) State() State { return j.state }
+
+// Event op codes for the Job's sim.Handler implementation.
+const (
+	opArrive      = iota // submission latency elapsed: hand to the LRM
+	opReleaseDone        // release latency elapsed: free the LRM job
+)
+
+// OnEvent implements sim.Handler: the job's latency events fire on the job
+// itself, so the gatekeeper and release paths schedule no closures.
+func (j *Job) OnEvent(op int) {
+	switch op {
+	case opArrive:
+		s := j.svc
+		s.inFlight--
+		s.arriveAtLRM(j)
+		s.drainBacklog()
+	case opReleaseDone:
+		if j.lrmJob.State() == lrm.Running {
+			j.svc.mgr.Finish(j.lrmJob)
+		}
+	}
+}
 
 // Service is the GRAM endpoint of one execution site.
 type Service struct {
@@ -98,11 +124,29 @@ type Service struct {
 	cfg    Config
 	seq    int
 
-	inFlight  int
-	backlog   []*Job
-	submitted uint64
-	activated uint64
-	releases  uint64
+	inFlight int
+	// backlog is a head-indexed FIFO of submissions waiting for a
+	// gatekeeper slot (see lrm.Manager.queue for the rationale).
+	backlog     []*Job
+	backlogHead int
+	submitted   uint64
+	activated   uint64
+	releases    uint64
+
+	// arena batch-allocates Job structs; handles stay valid for the life
+	// of the service (jobs are never reused), the batching only cuts the
+	// per-submission allocation count.
+	arena []Job
+}
+
+// newJob hands out a zeroed Job from the arena.
+func (s *Service) newJob() *Job {
+	if len(s.arena) == 0 {
+		s.arena = make([]Job, 64)
+	}
+	j := &s.arena[0]
+	s.arena = s.arena[1:]
+	return j
 }
 
 // New creates a GRAM service submitting to the given LRM.
@@ -135,13 +179,12 @@ func (s *Service) Submit(nodes int, onActive func(*Job)) (*Job, error) {
 		return nil, fmt.Errorf("gram %s: %d nodes exceed cluster size %d",
 			s.SiteName(), nodes, s.mgr.Cluster().Nodes())
 	}
-	j := &Job{
-		ID:       fmt.Sprintf("gram-%s-%d", s.SiteName(), s.seq),
-		Nodes:    nodes,
-		state:    Submitted,
-		svc:      s,
-		onActive: onActive,
-	}
+	j := s.newJob()
+	j.Nodes = nodes
+	j.seq = s.seq
+	j.state = Submitted
+	j.svc = s
+	j.onActive = onActive
 	s.seq++
 	s.submitted++
 	if s.cfg.SubmitConcurrency > 0 && s.inFlight >= s.cfg.SubmitConcurrency {
@@ -155,17 +198,18 @@ func (s *Service) Submit(nodes int, onActive func(*Job)) (*Job, error) {
 // beginSubmission occupies a gatekeeper slot for SubmitLatency.
 func (s *Service) beginSubmission(j *Job) {
 	s.inFlight++
-	s.engine.After(s.cfg.SubmitLatency, func() {
-		s.inFlight--
-		s.arriveAtLRM(j)
-		s.drainBacklog()
-	})
+	s.engine.AfterOp(s.cfg.SubmitLatency, j, opArrive)
 }
 
 func (s *Service) drainBacklog() {
-	for len(s.backlog) > 0 && (s.cfg.SubmitConcurrency == 0 || s.inFlight < s.cfg.SubmitConcurrency) {
-		next := s.backlog[0]
-		s.backlog = s.backlog[1:]
+	for s.backlogHead < len(s.backlog) && (s.cfg.SubmitConcurrency == 0 || s.inFlight < s.cfg.SubmitConcurrency) {
+		next := s.backlog[s.backlogHead]
+		s.backlog[s.backlogHead] = nil
+		s.backlogHead++
+		if s.backlogHead == len(s.backlog) {
+			s.backlog = s.backlog[:0]
+			s.backlogHead = 0
+		}
 		if next.released {
 			next.state = Released
 			continue
@@ -175,14 +219,14 @@ func (s *Service) drainBacklog() {
 }
 
 // Backlog returns the number of submissions queued at the gatekeeper.
-func (s *Service) Backlog() int { return len(s.backlog) }
+func (s *Service) Backlog() int { return len(s.backlog) - s.backlogHead }
 
 func (s *Service) arriveAtLRM(j *Job) {
 	if j.released { // released while still in flight: never reaches the LRM
 		j.state = Released
 		return
 	}
-	lj, err := s.mgr.Submit(j.ID, j.Nodes, func(*lrm.Job) { s.activate(j) })
+	lj, err := s.mgr.SubmitFor(j, j.Nodes)
 	if err != nil {
 		// Validated at Submit; reaching this means the model is inconsistent.
 		panic(fmt.Sprintf("gram %s: LRM rejected validated job: %v", s.SiteName(), err))
@@ -190,6 +234,9 @@ func (s *Service) arriveAtLRM(j *Job) {
 	j.state = Pending
 	j.lrmJob = lj
 }
+
+// JobStarted implements lrm.Starter: the LRM job holds its nodes.
+func (j *Job) JobStarted(*lrm.Job) { j.svc.activate(j) }
 
 func (s *Service) activate(j *Job) {
 	if j.released {
@@ -210,21 +257,16 @@ func (s *Service) activate(j *Job) {
 // or pending job the release takes effect when the job would have started.
 func (s *Service) Release(j *Job) error {
 	if j.svc != s {
-		return fmt.Errorf("gram %s: job %q belongs to another service", s.SiteName(), j.ID)
+		return fmt.Errorf("gram %s: job %q belongs to another service", s.SiteName(), j.ID())
 	}
 	if j.released || j.state == Released {
-		return fmt.Errorf("gram %s: double release of %q", s.SiteName(), j.ID)
+		return fmt.Errorf("gram %s: double release of %q", s.SiteName(), j.ID())
 	}
 	j.released = true
 	s.releases++
 	switch j.state {
 	case Active:
-		lj := j.lrmJob
-		s.engine.After(s.cfg.ReleaseLatency, func() {
-			if lj.State() == lrm.Running {
-				s.mgr.Finish(lj)
-			}
-		})
+		s.engine.AfterOp(s.cfg.ReleaseLatency, j, opReleaseDone)
 		j.state = Released
 	case Pending:
 		if err := s.mgr.Cancel(j.lrmJob); err == nil {

@@ -54,6 +54,23 @@ func (WorstFit) Name() string { return "WF" }
 
 // Place implements PlacementPolicy.
 func (WorstFit) Place(spec *JobSpec, snap Snapshot, _ *KIS, sites []*Site) ([]ComponentPlacement, bool) {
+	if len(spec.Components) == 1 {
+		// Single-component fast path (every job of the paper's malleable
+		// workloads): no mutable views needed, scan the snapshot directly.
+		size := spec.Components[0].Size
+		best := -1
+		bestIdle := 0
+		for i := range sites {
+			if idle := snap.IdleAt(i); idle >= size && (best < 0 || idle > bestIdle) {
+				best = i
+				bestIdle = idle
+			}
+		}
+		if best < 0 {
+			return nil, false
+		}
+		return []ComponentPlacement{{Component: 0, Site: sites[best], Size: size}}, true
+	}
 	views := newViews(snap, sites)
 	placements := make([]ComponentPlacement, 0, len(spec.Components))
 	for ci, comp := range spec.Components {

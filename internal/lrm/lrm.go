@@ -45,19 +45,49 @@ func (s State) String() string {
 	}
 }
 
+// Starter receives the start notification of an LRM job without the
+// allocation cost of a per-job closure; it is the hot-path alternative to
+// Submit's onStart callback.
+type Starter interface {
+	JobStarted(*Job)
+}
+
 // Job is one space-shared job managed by the LRM.
 type Job struct {
-	ID    string
 	Nodes int
 
+	id      string // explicit ID, or "" for a lazily formatted one
+	seq     int
 	state   State
 	alloc   *cluster.Allocation
 	onStart func(*Job)
+	starter Starter
 	mgr     *Manager
+}
+
+// ID returns the job's identifier (lazily formatted for auto-named jobs).
+func (j *Job) ID() string {
+	if j.id != "" {
+		return j.id
+	}
+	return fmt.Sprintf("%s-job-%d", j.mgr.clus.Name(), j.seq)
 }
 
 // State returns the job's lifecycle state.
 func (j *Job) State() State { return j.state }
+
+// opStart is the Job's only sim.Handler op: deliver the start callback.
+const opStart = 0
+
+// OnEvent implements sim.Handler: the deferred start notification fires on
+// the job itself, so dispatch schedules no closures.
+func (j *Job) OnEvent(int) {
+	if j.starter != nil {
+		j.starter.JobStarted(j)
+	} else if j.onStart != nil {
+		j.onStart(j)
+	}
+}
 
 // SchedulingInterval is the period at which a non-empty queue is rescanned
 // even without submissions or completions — the SGE scheduler run interval.
@@ -69,12 +99,30 @@ const SchedulingInterval = 15.0
 type Manager struct {
 	engine *sim.Engine
 	clus   *cluster.Cluster
-	queue  []*Job
+	// queue is a head-indexed FIFO: dispatch advances head instead of
+	// re-slicing from the front, which would force an append reallocation
+	// per submission under steady stub churn.
+	queue []*Job
+	head  int
 
 	dispatching bool
 	retry       *sim.Event
 	seq         int
 	running     int
+
+	// arena batch-allocates Job structs (never reused; batching only cuts
+	// the per-submission allocation count).
+	arena []Job
+}
+
+// opRetry is the Manager's only sim.Handler op: the periodic SGE-style
+// scheduling pass while jobs wait.
+const opRetry = 0
+
+// OnEvent implements sim.Handler.
+func (m *Manager) OnEvent(int) {
+	m.retry = nil
+	m.dispatch()
 }
 
 // New creates an LRM driving the given cluster.
@@ -86,7 +134,7 @@ func New(engine *sim.Engine, clus *cluster.Cluster) *Manager {
 func (m *Manager) Cluster() *cluster.Cluster { return m.clus }
 
 // QueueLength returns the number of jobs waiting for nodes.
-func (m *Manager) QueueLength() int { return len(m.queue) }
+func (m *Manager) QueueLength() int { return len(m.queue) - m.head }
 
 // RunningJobs returns the number of currently running LRM jobs.
 func (m *Manager) RunningJobs() int { return m.running }
@@ -95,6 +143,31 @@ func (m *Manager) RunningJobs() int { return m.running }
 // engine, at the start instant) once the job holds its nodes. Jobs start
 // FCFS as capacity allows.
 func (m *Manager) Submit(id string, nodes int, onStart func(*Job)) (*Job, error) {
+	j, err := m.submit(id, nodes)
+	if err != nil {
+		return nil, err
+	}
+	j.onStart = onStart
+	m.queue = append(m.queue, j)
+	m.dispatch()
+	return j, nil
+}
+
+// SubmitFor is Submit with a Starter receiver instead of a closure — the
+// allocation-free path the GRAM layer uses for its stub churn. The job is
+// auto-named.
+func (m *Manager) SubmitFor(starter Starter, nodes int) (*Job, error) {
+	j, err := m.submit("", nodes)
+	if err != nil {
+		return nil, err
+	}
+	j.starter = starter
+	m.queue = append(m.queue, j)
+	m.dispatch()
+	return j, nil
+}
+
+func (m *Manager) submit(id string, nodes int) (*Job, error) {
 	if nodes <= 0 {
 		return nil, fmt.Errorf("lrm %s: job %q requests %d nodes", m.clus.Name(), id, nodes)
 	}
@@ -102,13 +175,17 @@ func (m *Manager) Submit(id string, nodes int, onStart func(*Job)) (*Job, error)
 		return nil, fmt.Errorf("lrm %s: job %q requests %d nodes but cluster has %d",
 			m.clus.Name(), id, nodes, m.clus.Nodes())
 	}
-	if id == "" {
-		id = fmt.Sprintf("%s-job-%d", m.clus.Name(), m.seq)
+	if len(m.arena) == 0 {
+		m.arena = make([]Job, 64)
 	}
+	j := &m.arena[0]
+	m.arena = m.arena[1:]
+	j.id = id
+	j.seq = m.seq
+	j.Nodes = nodes
+	j.state = Queued
+	j.mgr = m
 	m.seq++
-	j := &Job{ID: id, Nodes: nodes, state: Queued, onStart: onStart, mgr: m}
-	m.queue = append(m.queue, j)
-	m.dispatch()
 	return j, nil
 }
 
@@ -116,23 +193,25 @@ func (m *Manager) Submit(id string, nodes int, onStart func(*Job)) (*Job, error)
 // use Finish for running jobs.
 func (m *Manager) Cancel(j *Job) error {
 	if j.state != Queued {
-		return fmt.Errorf("lrm %s: cancel of %s job %q", m.clus.Name(), j.state, j.ID)
+		return fmt.Errorf("lrm %s: cancel of %s job %q", m.clus.Name(), j.state, j.ID())
 	}
-	for i, q := range m.queue {
-		if q == j {
-			m.queue = append(m.queue[:i], m.queue[i+1:]...)
+	for i := m.head; i < len(m.queue); i++ {
+		if m.queue[i] == j {
+			copy(m.queue[i:], m.queue[i+1:])
+			m.queue[len(m.queue)-1] = nil
+			m.queue = m.queue[:len(m.queue)-1]
 			j.state = Canceled
 			return nil
 		}
 	}
-	return fmt.Errorf("lrm %s: job %q not found in queue", m.clus.Name(), j.ID)
+	return fmt.Errorf("lrm %s: job %q not found in queue", m.clus.Name(), j.ID())
 }
 
 // Finish completes a running job, releasing its nodes and dispatching any
 // queued jobs that now fit.
 func (m *Manager) Finish(j *Job) error {
 	if j.state != Running {
-		return fmt.Errorf("lrm %s: finish of %s job %q", m.clus.Name(), j.state, j.ID)
+		return fmt.Errorf("lrm %s: finish of %s job %q", m.clus.Name(), j.state, j.ID())
 	}
 	if err := j.alloc.Release(); err != nil {
 		return err
@@ -159,30 +238,31 @@ func (m *Manager) dispatch() {
 		m.dispatching = false
 		m.armRetry()
 	}()
-	for len(m.queue) > 0 {
-		head := m.queue[0]
+	for m.head < len(m.queue) {
+		head := m.queue[m.head]
 		alloc, err := m.clus.Allocate(head.Nodes)
 		if err != nil {
 			return // strict FCFS: the head blocks the queue (no backfilling)
 		}
-		m.queue = m.queue[1:]
+		m.queue[m.head] = nil
+		m.head++
+		if m.head == len(m.queue) {
+			m.queue = m.queue[:0]
+			m.head = 0
+		}
 		head.state = Running
 		head.alloc = alloc
 		m.running++
-		if head.onStart != nil {
-			h := head
-			m.engine.Immediately(func() { h.onStart(h) })
+		if head.onStart != nil || head.starter != nil {
+			m.engine.ImmediatelyOp(head, opStart)
 		}
 	}
 }
 
 // armRetry schedules the next periodic scheduling pass while jobs wait.
 func (m *Manager) armRetry() {
-	if len(m.queue) == 0 || m.retry != nil {
+	if m.QueueLength() == 0 || m.retry != nil {
 		return
 	}
-	m.retry = m.engine.After(SchedulingInterval, func() {
-		m.retry = nil
-		m.dispatch()
-	})
+	m.retry = m.engine.AfterOp(SchedulingInterval, m, opRetry)
 }

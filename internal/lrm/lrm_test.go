@@ -35,7 +35,7 @@ func TestImmediateStart(t *testing.T) {
 func TestFCFSQueueing(t *testing.T) {
 	e, c, m := setup(10)
 	var order []string
-	start := func(j *Job) { order = append(order, j.ID) }
+	start := func(j *Job) { order = append(order, j.ID()) }
 	a, _ := m.Submit("a", 8, start)
 	b, _ := m.Submit("b", 8, start)
 	small, _ := m.Submit("small", 2, start)
@@ -112,8 +112,8 @@ func TestAutoID(t *testing.T) {
 	a, _ := m.Submit("", 1, nil)
 	b, _ := m.Submit("", 1, nil)
 	e.Run()
-	if a.ID == "" || a.ID == b.ID {
-		t.Fatalf("auto IDs not unique: %q %q", a.ID, b.ID)
+	if a.ID() == "" || a.ID() == b.ID() {
+		t.Fatalf("auto IDs not unique: %q %q", a.ID(), b.ID())
 	}
 }
 

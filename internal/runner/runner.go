@@ -172,19 +172,20 @@ func (r *MRunner) Start() error {
 		return fmt.Errorf("runner: %s started twice", r.profile.Name)
 	}
 	r.started = true
+	r.stubs = make([]*gram.Job, 0, r.initial)
 	remaining := r.initial
+	// One shared callback for the whole batch, not one closure per stub.
+	onActive := func(j *gram.Job) {
+		r.stubs = append(r.stubs, j)
+		remaining--
+		if remaining == 0 {
+			r.beginExecution()
+		}
+	}
 	for i := 0; i < r.initial; i++ {
-		j, err := r.svc.Submit(1, func(j *gram.Job) {
-			r.stubs = append(r.stubs, j)
-			remaining--
-			if remaining == 0 {
-				r.beginExecution()
-			}
-		})
-		if err != nil {
+		if _, err := r.svc.Submit(1, onActive); err != nil {
 			return fmt.Errorf("runner: initial submission failed: %w", err)
 		}
-		_ = j
 	}
 	return nil
 }
@@ -286,73 +287,97 @@ func (r *MRunner) onAdaptation(res dynaco.Result) {
 // named type so the Handler methods do not pollute MRunner's public API.
 type mrunnerHandler MRunner
 
+// acquisition tracks one in-flight grow: the stubs submitted, how many are
+// already active, and the timeout that abandons the rest. It is a single
+// object with one shared stub callback, replacing the per-stub closure web
+// the hot path used to allocate.
+type acquisition struct {
+	r        *MRunner
+	n        int
+	held     int
+	finished bool
+	newStubs []*gram.Job
+	timeout  *sim.Event
+	done     func(held int)
+}
+
+// OnEvent implements sim.Handler: the acquisition timeout expired — abandon
+// the stubs still in flight (a voluntary shrink from the scheduler's point
+// of view) and proceed with what is held.
+func (a *acquisition) OnEvent(int) {
+	a.timeout = nil
+	if a.finished {
+		return
+	}
+	r := a.r
+	abandoned := 0
+	for _, s := range a.newStubs {
+		if s.State() != gram.Active && s.State() != gram.Released {
+			r.svc.Release(s)
+			abandoned++
+		}
+	}
+	if abandoned > 0 && r.cb.OnVoluntaryShrink != nil {
+		r.cb.OnVoluntaryShrink(abandoned)
+	}
+	a.complete()
+}
+
+func (a *acquisition) complete() {
+	if a.finished {
+		return
+	}
+	a.finished = true
+	if a.timeout != nil {
+		a.timeout.Cancel()
+		a.timeout = nil
+	}
+	a.done(a.held)
+}
+
+// stubActive is the shared onActive callback of every stub of the batch.
+func (a *acquisition) stubActive(j *gram.Job) {
+	r := a.r
+	if a.finished || r.finished {
+		// Too late — the acquisition timed out, or the application itself
+		// already finished: give the node straight back.
+		r.svc.Release(j)
+		if r.cb.OnVoluntaryShrink != nil {
+			r.cb.OnVoluntaryShrink(1)
+		}
+		return
+	}
+	r.stubs = append(r.stubs, j)
+	a.held++
+	if a.held == a.n {
+		a.complete()
+	}
+}
+
 // Acquire submits n size-1 stubs and reports once all are active (or the
-// acquisition timeout expires, in which case pending stubs are abandoned —
-// a voluntary shrink from the scheduler's point of view).
+// acquisition timeout expires, in which case pending stubs are abandoned).
 func (h *mrunnerHandler) Acquire(n int, done func(held int)) {
 	r := (*MRunner)(h)
-	var newStubs []*gram.Job
-	held := 0
-	finished := false
-	complete := func() {
-		if finished {
-			return
-		}
-		finished = true
-		done(held)
-	}
-	var timeout *sim.Event
+	a := &acquisition{r: r, n: n, done: done}
 	if r.cfg.AcquireTimeout > 0 {
-		timeout = r.engine.After(r.cfg.AcquireTimeout, func() {
-			if finished {
-				return
-			}
-			abandoned := 0
-			for _, s := range newStubs {
-				if s.State() != gram.Active && s.State() != gram.Released {
-					r.svc.Release(s)
-					abandoned++
-				}
-			}
-			if abandoned > 0 && r.cb.OnVoluntaryShrink != nil {
-				r.cb.OnVoluntaryShrink(abandoned)
-			}
-			complete()
-		})
+		a.timeout = r.engine.AfterOp(r.cfg.AcquireTimeout, a, 0)
 	}
+	onActive := a.stubActive
 	for i := 0; i < n; i++ {
-		j, err := r.svc.Submit(1, func(j *gram.Job) {
-			if finished || r.finished {
-				// Too late — the acquisition timed out, or the application
-				// itself already finished: give the node straight back.
-				r.svc.Release(j)
-				if r.cb.OnVoluntaryShrink != nil {
-					r.cb.OnVoluntaryShrink(1)
-				}
-				return
-			}
-			r.stubs = append(r.stubs, j)
-			held++
-			if held == n {
-				if timeout != nil {
-					timeout.Cancel()
-				}
-				complete()
-			}
-		})
+		j, err := r.svc.Submit(1, onActive)
 		if err != nil {
 			// Site refuses (should not happen for size-1 jobs): account the
 			// stub as never held.
-			n--
-			if held == n && n > 0 {
-				complete()
+			a.n--
+			if a.held == a.n && a.n > 0 {
+				a.complete()
 			}
 			continue
 		}
-		newStubs = append(newStubs, j)
+		a.newStubs = append(a.newStubs, j)
 	}
-	if n == 0 {
-		complete()
+	if a.n == 0 {
+		a.complete()
 	}
 }
 

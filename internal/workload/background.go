@@ -40,6 +40,24 @@ type BackgroundLoad struct {
 	stopped  bool
 }
 
+// bgSite drives the sessions of one cluster. The arrival closure is built
+// once and every session-end event fires on the bgSite itself (the op code
+// carries the node count), so steady-state background load allocates
+// nothing per session.
+type bgSite struct {
+	b      *BackgroundLoad
+	c      *cluster.Cluster
+	rng    *sim.RNG
+	arrive func()
+}
+
+// OnEvent implements sim.Handler: a session of op nodes ended — give the
+// nodes back. The cluster accounting guarantees this cannot release more
+// than is held.
+func (s *bgSite) OnEvent(op int) {
+	s.c.ReleaseBackground(op)
+}
+
 // StartBackground begins generating background sessions on all clusters.
 func StartBackground(engine *sim.Engine, grid *cluster.Multicluster, spec BackgroundSpec) (*BackgroundLoad, error) {
 	if err := spec.Validate(); err != nil {
@@ -47,7 +65,15 @@ func StartBackground(engine *sim.Engine, grid *cluster.Multicluster, spec Backgr
 	}
 	b := &BackgroundLoad{engine: engine, rng: sim.NewRNG(spec.Seed), spec: spec}
 	for _, c := range grid.Clusters() {
-		b.scheduleNext(c, b.rng.Split())
+		s := &bgSite{b: b, c: c, rng: b.rng.Split()}
+		s.arrive = func() {
+			if b.stopped {
+				return
+			}
+			b.runSession(s)
+			s.scheduleNext()
+		}
+		s.scheduleNext()
 	}
 	return b, nil
 }
@@ -61,18 +87,13 @@ func (b *BackgroundLoad) Sessions() uint64 { return b.sessions }
 // Denied returns how many sessions found no free nodes and gave up.
 func (b *BackgroundLoad) Denied() uint64 { return b.denied }
 
-func (b *BackgroundLoad) scheduleNext(c *cluster.Cluster, rng *sim.RNG) {
-	delay := rng.ExpFloat64() * b.spec.MeanInterArrival
-	b.engine.After(delay, func() {
-		if b.stopped {
-			return
-		}
-		b.runSession(c, rng)
-		b.scheduleNext(c, rng)
-	})
+func (s *bgSite) scheduleNext() {
+	delay := s.rng.ExpFloat64() * s.b.spec.MeanInterArrival
+	s.b.engine.After(delay, s.arrive)
 }
 
-func (b *BackgroundLoad) runSession(c *cluster.Cluster, rng *sim.RNG) {
+func (b *BackgroundLoad) runSession(s *bgSite) {
+	c, rng := s.c, s.rng
 	want := 1 + rng.Intn(b.spec.MaxNodes)
 	if want > c.Idle() {
 		want = c.Idle()
@@ -87,10 +108,5 @@ func (b *BackgroundLoad) runSession(c *cluster.Cluster, rng *sim.RNG) {
 	}
 	b.sessions++
 	duration := rng.ExpFloat64() * b.spec.MeanDuration
-	n := want
-	b.engine.After(duration, func() {
-		// Give the nodes back; the cluster accounting guarantees this
-		// cannot release more than is held.
-		c.ReleaseBackground(n)
-	})
+	b.engine.AfterOp(duration, s, want)
 }

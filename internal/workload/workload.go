@@ -12,6 +12,7 @@ package workload
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/app"
 	"repro/internal/koala"
@@ -49,18 +50,51 @@ type Item struct {
 	Size      int // initial size (malleable) or fixed size (rigid)
 }
 
+// Profiles are immutable after construction, so every item of every run can
+// share one instance per (application, class, size) instead of building a
+// fresh profile — and its runtime model tables — per submission. The rigid
+// cache is keyed by size and mutex-guarded because parallel sweep workers
+// submit concurrently.
+var (
+	ftMalleable     = app.FTProfile()
+	gadgetMalleable = app.GadgetProfile()
+
+	rigidMu    sync.Mutex
+	rigidCache = map[rigidKey]*app.Profile{}
+)
+
+type rigidKey struct {
+	app  AppKind
+	size int
+}
+
+func rigidProfile(kind AppKind, size int) *app.Profile {
+	rigidMu.Lock()
+	defer rigidMu.Unlock()
+	key := rigidKey{kind, size}
+	if p, ok := rigidCache[key]; ok {
+		return p
+	}
+	var p *app.Profile
+	if kind == FT {
+		p = app.RigidProfile("FT-rigid", app.FTModel(), size)
+	} else {
+		p = app.RigidProfile("GADGET2-rigid", app.GadgetModel(), size)
+	}
+	rigidCache[key] = p
+	return p
+}
+
 // Spec builds Item.Spec's job description for submission to KOALA.
 func (it Item) JobSpec() koala.JobSpec {
 	var profile *app.Profile
 	switch {
 	case it.Malleable && it.App == FT:
-		profile = app.FTProfile()
+		profile = ftMalleable
 	case it.Malleable && it.App == Gadget:
-		profile = app.GadgetProfile()
-	case it.App == FT:
-		profile = app.RigidProfile("FT-rigid", app.FTModel(), it.Size)
+		profile = gadgetMalleable
 	default:
-		profile = app.RigidProfile("GADGET2-rigid", app.GadgetModel(), it.Size)
+		profile = rigidProfile(it.App, it.Size)
 	}
 	return koala.JobSpec{
 		ID:         it.ID,
