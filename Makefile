@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench vet figures serve
+.PHONY: build test bench bench-smoke vet figures serve
 
 build:
 	$(GO) build ./...
@@ -11,7 +11,17 @@ vet:
 test: vet
 	$(GO) test -race ./...
 
+# Full benchmark run; writes BENCH_PR3.json (name -> ns/op, allocs/op and
+# custom metrics) so future PRs can diff the perf trajectory. Two steps so
+# a failing benchmark run fails the target instead of being masked by the
+# pipe's exit status.
 bench:
+	$(GO) test -run=NONE -bench=. -benchmem -count=1 . ./internal/sim ./internal/koala > bench.raw.tmp
+	$(GO) run ./tools/benchjson -o BENCH_PR3.json < bench.raw.tmp
+	@rm -f bench.raw.tmp
+
+# One iteration of every benchmark — a fast CI smoke that they still run.
+bench-smoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
 
 figures: build

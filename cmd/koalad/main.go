@@ -7,7 +7,8 @@
 //
 // Usage:
 //
-//	koalad [-addr :8080] [-parallel N] [-max-runs N] [-queue N] [-version]
+//	koalad [-addr :8080] [-parallel N] [-max-runs N] [-queue N]
+//	       [-pprof] [-version]
 //
 // Endpoints:
 //
@@ -16,6 +17,8 @@
 //	GET  /v1/experiments/{id}/events NDJSON progress stream (replay + follow)
 //	GET  /healthz                    liveness, version, queue gauges
 //	GET  /metrics                    Prometheus text metrics
+//	GET  /debug/pprof/               live profiling (opt-in via -pprof; the
+//	                                 endpoints are unauthenticated)
 //
 // SIGINT/SIGTERM drain gracefully: new submissions are refused while
 // admitted runs finish (bounded by -drain-timeout), then the process
@@ -46,6 +49,7 @@ func main() {
 	queue := flag.Int("queue", 8, "maximum admitted runs waiting for a slot (beyond it POST returns 429)")
 	retain := flag.Int("retain", 256, "terminal runs kept resident (results + event logs); the oldest beyond this are forgotten")
 	drainTimeout := flag.Duration("drain-timeout", 2*time.Minute, "how long a shutdown waits for in-flight runs before aborting them")
+	enablePprof := flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ on the daemon's mux (unauthenticated; enable only on trusted networks)")
 	flag.Parse()
 
 	if *version {
@@ -60,6 +64,7 @@ func main() {
 		QueueDepth:    *queue,
 		MaxRetained:   *retain,
 		Version:       buildinfo.Version(),
+		EnablePprof:   *enablePprof,
 		Logf:          logger.Printf,
 	})
 

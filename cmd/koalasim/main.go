@@ -7,12 +7,15 @@
 //	         [-approach PRA|PWA] [-placement WF|CF|CM|FCM]
 //	         [-runs N] [-parallel N] [-seed S] [-reserve N] [-poll SEC]
 //	         [-no-background] [-csv FILE] [-stream] [-version]
+//	         [-cpuprofile FILE] [-memprofile FILE]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/buildinfo"
 	"repro/internal/experiment"
@@ -21,7 +24,12 @@ import (
 	"repro/internal/workload"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+// run parses flags and executes the experiment. It returns the process
+// exit code instead of calling os.Exit so the profiling defers always
+// flush their files, even on error paths.
+func run() int {
 	version := flag.Bool("version", false, "print version and exit")
 	wl := flag.String("workload", "Wm", "workload: Wm, Wmr, W'm, W'mr")
 	policy := flag.String("policy", "FPSMA", "malleability policy: FPSMA, EGS, EQUI, FOLD")
@@ -35,21 +43,52 @@ func main() {
 	noBg := flag.Bool("no-background", false, "disable bypassing local users")
 	csvPath := flag.String("csv", "", "write per-job records to this CSV file")
 	stream := flag.Bool("stream", false, "stream per-replication aggregates instead of pooling records (constant memory; quantiles are sketch-approximate; incompatible with -csv)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the experiment to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile (after the experiment) to this file")
 	flag.Parse()
 
 	if *version {
 		fmt.Println(buildinfo.String("koalasim"))
-		return
+		return 0
 	}
 	if *stream && *csvPath != "" {
 		fmt.Fprintln(os.Stderr, "koalasim: -csv needs per-job records, which -stream does not retain")
-		os.Exit(1)
+		return 1
 	}
-
 	spec, err := workload.SpecByName(*wl, *seed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "koalasim:", err)
-		os.Exit(1)
+		return 1
+	}
+
+	// Flags are valid: start profiling only now, so a usage error never
+	// leaves a truncated profile behind.
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "koalasim:", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "koalasim:", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "koalasim:", err)
+			return 1
+		}
+		defer func() {
+			runtime.GC() // settle the heap so the profile reflects live data
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "koalasim:", err)
+			}
+			f.Close()
+		}()
 	}
 	cfg := experiment.Config{
 		Workload:      spec,
@@ -68,7 +107,7 @@ func main() {
 		res, err := experiment.RunStream(cfg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "koalasim:", err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("experiment : %s/%s/%s placement=%s runs=%d seed=%d (streamed)\n",
 			*approach, *policy, spec.Name, *placement, *runs, *seed)
@@ -81,13 +120,13 @@ func main() {
 		}
 		fmt.Printf("mean util  : %.1f processors\n", res.MeanUtilization())
 		fmt.Printf("ops/run    : %.1f malleability operations\n", res.TotalOps())
-		return
+		return 0
 	}
 
 	res, err := experiment.Run(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "koalasim:", err)
-		os.Exit(1)
+		return 1
 	}
 
 	fmt.Printf("experiment : %s/%s/%s placement=%s runs=%d seed=%d\n",
@@ -112,13 +151,14 @@ func main() {
 		f, err := os.Create(*csvPath)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "koalasim:", err)
-			os.Exit(1)
+			return 1
 		}
 		defer f.Close()
 		if err := metrics.WriteCSV(f, res.Pooled); err != nil {
 			fmt.Fprintln(os.Stderr, "koalasim:", err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("records    : written to %s\n", *csvPath)
 	}
+	return 0
 }

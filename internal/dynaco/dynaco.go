@@ -88,24 +88,9 @@ type Action struct {
 	N  int
 }
 
-// Plan is the ordered action list produced by the plan component.
-type Plan struct {
-	Actions []Action
-}
-
-// planGrow expands an accepted grow into the §V-A protocol: acquire all new
-// processors first (overlapping execution), only then recruit them.
-func planGrow(accepted int) Plan {
-	return Plan{Actions: []Action{{OpAcquire, accepted}, {OpRecruit, accepted}}}
-}
-
-// planShrink expands an accepted shrink: reach a safe point and release.
-func planShrink(accepted int) Plan {
-	return Plan{Actions: []Action{{OpRelease, accepted}}}
-}
-
-// maxPlanActions bounds the in-place action buffer of the framework; both
-// plan shapes above fit.
+// maxPlanActions bounds the in-place action buffer of the framework: the
+// longest plan the plan component produces is a grow (acquire, recruit);
+// a shrink is a single release.
 const maxPlanActions = 2
 
 // Handler executes individual actions on behalf of the framework. The

@@ -15,6 +15,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
@@ -42,6 +43,9 @@ type Options struct {
 	MaxRetained int
 	// Version is reported in /healthz and the startup banner.
 	Version string
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ on the
+	// daemon's mux.
+	EnablePprof bool
 	// Logf receives one line per lifecycle transition (optional).
 	Logf func(format string, args ...any)
 }
@@ -119,6 +123,17 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/experiments/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if s.opts.EnablePprof {
+		// The debug mux: net/http/pprof profiles of the live daemon
+		// (goroutine, heap, CPU, trace), for diagnosing slow or stuck runs
+		// without restarting it. No method restriction, matching stdlib
+		// registration — `go tool pprof` POSTs to /debug/pprof/symbol.
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 

@@ -392,6 +392,27 @@ func TestGracefulShutdownDrains(t *testing.T) {
 	}
 }
 
+func TestPprofEndpointsGatedByOption(t *testing.T) {
+	_, ts := newTestServer(t, Options{EnablePprof: true})
+	resp, err := http.Get(ts.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof index = %d, want 200", resp.StatusCode)
+	}
+	_, off := newTestServer(t, Options{})
+	resp, err = http.Get(off.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("pprof without EnablePprof = %d, want 404", resp.StatusCode)
+	}
+}
+
 func TestHealthzAndMetrics(t *testing.T) {
 	s, ts := newTestServer(t, Options{Version: "test-1.2.3"})
 	sr, _ := postConfig(t, ts, tinyConfig)
