@@ -11,13 +11,16 @@ vet:
 test: vet
 	$(GO) test -race ./...
 
-# Full benchmark run; writes BENCH_PR3.json (name -> ns/op, allocs/op and
-# custom metrics) so future PRs can diff the perf trajectory. Two steps so
-# a failing benchmark run fails the target instead of being masked by the
-# pipe's exit status.
+# Full benchmark run; writes $(BENCH_OUT) (name -> ns/op, allocs/op and
+# custom metrics) so the perf trajectory accrues one file per PR — bump
+# the default each PR, or override: make bench BENCH_OUT=BENCH_PRn.json.
+# Two steps so a failing benchmark run fails the target instead of being
+# masked by the pipe's exit status.
+BENCH_OUT ?= BENCH_PR4.json
+
 bench:
 	$(GO) test -run=NONE -bench=. -benchmem -count=1 . ./internal/sim ./internal/koala > bench.raw.tmp
-	$(GO) run ./tools/benchjson -o BENCH_PR3.json < bench.raw.tmp
+	$(GO) run ./tools/benchjson -o $(BENCH_OUT) < bench.raw.tmp
 	@rm -f bench.raw.tmp
 
 # One iteration of every benchmark — a fast CI smoke that they still run.

@@ -8,17 +8,27 @@
 // Usage:
 //
 //	koalad [-addr :8080] [-parallel N] [-max-runs N] [-queue N]
-//	       [-pprof] [-version]
+//	       [-data-dir DIR] [-store-max-bytes N] [-store-max-age D]
+//	       [-store-fsync] [-store-gc-interval D] [-pprof] [-version]
 //
 // Endpoints:
 //
 //	POST /v1/experiments             submit a config (JSON), get a run ID
+//	GET  /v1/experiments             list resident runs (id, hash, status, source)
 //	GET  /v1/experiments/{id}        status + final summary
 //	GET  /v1/experiments/{id}/events NDJSON progress stream (replay + follow)
 //	GET  /healthz                    liveness, version, queue gauges
 //	GET  /metrics                    Prometheus text metrics
 //	GET  /debug/pprof/               live profiling (opt-in via -pprof; the
 //	                                 endpoints are unauthenticated)
+//
+// With -data-dir the daemon is durable: completed summaries are written
+// through to a content-addressed on-disk store, run transitions are
+// journaled, and a restart recovers everything — cached results answer
+// identical re-POSTs without re-simulating, and runs that were in
+// flight when the process died are re-enqueued. -store-max-bytes and
+// -store-max-age bound the store; a GC sweep enforces them at startup
+// and every -store-gc-interval.
 //
 // SIGINT/SIGTERM drain gracefully: new submissions are refused while
 // admitted runs finish (bounded by -drain-timeout), then the process
@@ -39,6 +49,7 @@ import (
 
 	"repro/internal/buildinfo"
 	"repro/internal/server"
+	"repro/internal/store"
 )
 
 func main() {
@@ -50,6 +61,11 @@ func main() {
 	retain := flag.Int("retain", 256, "terminal runs kept resident (results + event logs); the oldest beyond this are forgotten")
 	drainTimeout := flag.Duration("drain-timeout", 2*time.Minute, "how long a shutdown waits for in-flight runs before aborting them")
 	enablePprof := flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ on the daemon's mux (unauthenticated; enable only on trusted networks)")
+	dataDir := flag.String("data-dir", "", "directory for the persistent result store and run journal (empty = in-memory only, results do not survive a restart)")
+	storeMaxBytes := flag.Int64("store-max-bytes", 0, "GC bound on the result store's total size in bytes (0 = unbounded)")
+	storeMaxAge := flag.Duration("store-max-age", 0, "GC bound on a stored result's age (0 = unbounded)")
+	storeFsync := flag.Bool("store-fsync", false, "fsync store writes and journal appends (survives power loss, not just process death; slower)")
+	storeGCInterval := flag.Duration("store-gc-interval", 10*time.Minute, "how often the store GC sweep enforces -store-max-bytes/-store-max-age (0 = only at startup)")
 	flag.Parse()
 
 	if *version {
@@ -58,6 +74,15 @@ func main() {
 	}
 
 	logger := log.New(os.Stderr, "", log.LstdFlags)
+	var st *store.Store
+	if *dataDir != "" {
+		var err error
+		st, err = store.Open(*dataDir, store.Options{Fsync: *storeFsync, Logf: logger.Printf})
+		if err != nil {
+			logger.Fatalf("koalad: opening data dir: %v", err)
+		}
+		defer st.Close()
+	}
 	srv := server.New(server.Options{
 		Parallelism:   *par,
 		MaxConcurrent: *maxRuns,
@@ -65,8 +90,47 @@ func main() {
 		MaxRetained:   *retain,
 		Version:       buildinfo.Version(),
 		EnablePprof:   *enablePprof,
+		Store:         st,
 		Logf:          logger.Printf,
 	})
+	if st != nil {
+		rec, err := srv.Recover()
+		if err != nil {
+			logger.Fatalf("koalad: recovering from %s: %v", *dataDir, err)
+		}
+		logger.Printf("koalad: recovered from %s: %s", *dataDir, rec)
+		runGC := func() {
+			if *storeMaxBytes == 0 && *storeMaxAge == 0 {
+				return
+			}
+			res, err := st.GC(*storeMaxBytes, *storeMaxAge)
+			if err != nil {
+				logger.Printf("koalad: store gc: %v", err)
+				return
+			}
+			if res.Removed > 0 {
+				logger.Printf("koalad: store gc removed %d entries (%d bytes); %d entries (%d bytes) remain",
+					res.Removed, res.RemovedBytes, res.Entries, res.Bytes)
+			}
+		}
+		runGC()
+		if *storeGCInterval > 0 && (*storeMaxBytes != 0 || *storeMaxAge != 0) {
+			gcDone := make(chan struct{})
+			defer close(gcDone)
+			go func() {
+				ticker := time.NewTicker(*storeGCInterval)
+				defer ticker.Stop()
+				for {
+					select {
+					case <-ticker.C:
+						runGC()
+					case <-gcDone:
+						return
+					}
+				}
+			}()
+		}
+	}
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 	errCh := make(chan error, 1)

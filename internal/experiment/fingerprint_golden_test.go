@@ -1,0 +1,68 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFingerprintGoldenVectors pins Fingerprint to exact SHA-256
+// strings for a spread of fixed ConfigSpecs. The fingerprint is the
+// content address of koalad's result cache AND of its on-disk result
+// store — if it drifts across a refactor, every persisted result
+// silently becomes unreachable (a mass cache invalidation at best, a
+// wrong-result serve at worst). Unlike the canonicalization tests,
+// which only check equivalences, these vectors fail on ANY change to
+// the hashed form: field order, default resolution, preset expansion,
+// float formatting.
+//
+// If this test fails, you changed the canonical config encoding. That
+// is sometimes intentional (a new semantic field MUST change the
+// hash); when it is, update the vectors and call the incompatibility
+// out in the commit — existing -data-dir contents will re-simulate.
+func TestFingerprintGoldenVectors(t *testing.T) {
+	vectors := []struct {
+		name string
+		spec string
+		want string
+	}{
+		{
+			name: "preset defaults",
+			spec: `{"workload":{"preset":"Wm"}}`,
+			want: "40c5ffd9f1425bcfa3a8a5196544e61d5db86f6b0861f059403826e5aa4c6867",
+		},
+		{
+			name: "preset with policy knobs",
+			spec: `{"workload":{"preset":"Wmr"},"policy":"EGS","approach":"PWA","placement":"CF","runs":5,"seed":42}`,
+			want: "b5913c20b520f9d486598abb411cb0024428f7949de779c5df97e0204d968781",
+		},
+		{
+			name: "inline workload and grid",
+			spec: `{"workload":{"name":"tiny","jobs":4,"inter_arrival":30,"malleable_fraction":1,"initial_size":2,"rigid_size":2},"grid":{"clusters":[{"name":"A","nodes":48},{"name":"B","nodes":32}]},"no_background":true,"runs":2,"seed":1}`,
+			want: "7a71bc943aa53b847c93aca86bdba35299a025ea9dc2d404cf07ec6f592e512e",
+		},
+		{
+			name: "gram override, background, intervals",
+			spec: `{"workload":{"preset":"W'm"},"gram":{"submit_latency":5,"release_latency":1,"submit_concurrency":2},"background":{"mean_inter_arrival":60,"mean_duration":600,"max_nodes":16},"horizon":100000,"poll_interval":30,"sample_period":60,"growth_reserve":4,"disable_malleability":true}`,
+			want: "272f0f01f26100bea1c070ee6dd8b4b0c31928e688e8249d5b084a1e99d0d16c",
+		},
+	}
+	for _, v := range vectors {
+		t.Run(v.name, func(t *testing.T) {
+			spec, err := DecodeConfigSpec(strings.NewReader(v.spec))
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg, err := spec.Config()
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := Fingerprint(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != v.want {
+				t.Errorf("fingerprint drifted:\n got  %s\n want %s\nevery on-disk cache entry keyed by the old form is now unreachable — see the test comment before updating the vector", got, v.want)
+			}
+		})
+	}
+}

@@ -1,0 +1,46 @@
+package experiment
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+)
+
+// This file is the stable serialization of StreamSummary — the form in
+// which completed results cross process lifetimes (koalad's on-disk
+// result store) rather than just process boundaries. Two guarantees
+// matter there that plain json.Marshal/Unmarshal do not spell out:
+//
+//  1. Encoding is canonical: fields marshal in declaration order with
+//     Go's shortest-round-trip float formatting, so
+//     Encode(Decode(Encode(s))) is byte-identical to Encode(s). A
+//     result written before a restart re-serves byte-identically after.
+//  2. Decoding is strict: unknown fields are rejected. If StreamSummary
+//     ever renames or drops a field, old on-disk entries fail to decode
+//     and degrade to a cache miss (the config re-simulates) instead of
+//     silently serving a summary with zeroed fields.
+
+// EncodeSummary renders a summary in its canonical stored form.
+func EncodeSummary(s StreamSummary) ([]byte, error) {
+	b, err := json.Marshal(s)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: encoding summary: %w", err)
+	}
+	return b, nil
+}
+
+// DecodeSummary strictly parses a stored summary. An error means the
+// bytes were written by an incompatible version (or corrupted) and the
+// caller must treat the entry as absent.
+func DecodeSummary(b []byte) (StreamSummary, error) {
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	var s StreamSummary
+	if err := dec.Decode(&s); err != nil {
+		return StreamSummary{}, fmt.Errorf("experiment: decoding summary: %w", err)
+	}
+	if dec.More() {
+		return StreamSummary{}, fmt.Errorf("experiment: trailing data after summary")
+	}
+	return s, nil
+}

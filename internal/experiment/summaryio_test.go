@@ -1,0 +1,82 @@
+package experiment
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func testSummary() StreamSummary {
+	awkward := stats.Summary{
+		N: 3, Mean: 1.0 / 3.0, StdDev: 0.1 + 0.2, Min: 1e-17,
+		P25: 2.0 / 7.0, Median: 0.5, P75: 0.75, P90: 123456.789012345, Max: 1e17,
+	}
+	return StreamSummary{
+		Name: "round-trip", Runs: 2, Jobs: 8, Malleable: 6, Rejected: 1,
+		MeanUtilization: 0.7000000000000001, OpsPerRun: 12.5,
+		Exec: awkward, Response: awkward, AvgProcs: awkward, MaxProcs: awkward,
+		Replications: []Replication{
+			{Rep: 0, Seed: 1, Jobs: 4, Malleable: 3, Makespan: 1234.5678901234567, MeanUtilization: 0.1 + 0.7, Ops: 6, MeanExecution: 1.0 / 7.0, MeanResponse: 2.0 / 3.0},
+			{Rep: 1, Seed: 2, Jobs: 4, Malleable: 3, Rejected: 1, Makespan: 999.0001},
+		},
+	}
+}
+
+// TestSummaryRoundTripStable pins the stable-serialization contract the
+// on-disk result store depends on: decode(encode(s)) == s, and
+// re-encoding the decoded value is byte-identical — floats chosen to
+// stress shortest-round-trip formatting. This is what lets a restarted
+// koalad serve a stored summary byte-identically to the process that
+// computed it.
+func TestSummaryRoundTripStable(t *testing.T) {
+	sum := testSummary()
+	b1, err := EncodeSummary(sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeSummary(b1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := EncodeSummary(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("re-encode not byte-identical:\n b1: %s\n b2: %s", b1, b2)
+	}
+	if got.Replications[0].Makespan != sum.Replications[0].Makespan || got.Exec.Mean != sum.Exec.Mean {
+		t.Fatalf("values drifted through the round trip: %+v", got)
+	}
+}
+
+// TestDecodeSummaryStrict: a stored summary with fields this version
+// does not know is an incompatible entry and must fail (degrading to a
+// cache miss), not silently half-parse.
+func TestDecodeSummaryStrict(t *testing.T) {
+	if _, err := DecodeSummary([]byte(`{"name":"x","runs":1,"mystery_field":3}`)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+	if _, err := DecodeSummary([]byte(`{"name":"x"} trailing`)); err == nil {
+		t.Fatal("trailing data accepted")
+	}
+	if _, err := DecodeSummary([]byte(`not json`)); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	// And the happy path, via the wire form a real run produces.
+	b, err := EncodeSummary(testSummary())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeSummary(b); err != nil {
+		t.Fatal(err)
+	}
+	// Whitespace variance (a hand-edited or pretty-printed entry) still
+	// decodes; only the canonical encoding is byte-stable.
+	pretty := strings.ReplaceAll(string(b), ",", ", ")
+	if _, err := DecodeSummary([]byte(pretty)); err != nil {
+		t.Fatal(err)
+	}
+}

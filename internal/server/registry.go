@@ -3,6 +3,8 @@ package server
 import (
 	"encoding/json"
 	"fmt"
+	"sort"
+	"strings"
 	"sync"
 
 	"repro/internal/experiment"
@@ -22,14 +24,29 @@ const (
 	StatusFailed Status = "failed"
 )
 
+// Where a run's result came from: simulated by this process, or
+// restored from the on-disk result store across a restart.
+const (
+	SourceLive  = "live"
+	SourceStore = "store"
+)
+
 // Run is one submitted experiment: its config, its lifecycle state and
 // an append-only event log that NDJSON subscribers replay and follow.
 type Run struct {
 	ID   string
 	Hash string
 	Name string
+	// Source is SourceLive for runs simulated (or simulating) in this
+	// process and SourceStore for results restored from disk. Immutable
+	// after creation.
+	Source string
 
 	cfg experiment.Config
+	// specJSON is the submitted ConfigSpec in wire form, kept only when
+	// a store is attached: journal compaction rewrites the submitted
+	// records of in-flight runs from it.
+	specJSON json.RawMessage
 
 	mu      sync.Mutex
 	status  Status
@@ -39,11 +56,12 @@ type Run struct {
 	errMsg  string
 }
 
-func newRun(id, hash string, cfg experiment.Config) *Run {
+func newRun(id, hash string, cfg experiment.Config, source string) *Run {
 	return &Run{
 		ID:      id,
 		Hash:    hash,
 		Name:    cfg.Name,
+		Source:  source,
 		cfg:     cfg,
 		status:  StatusQueued,
 		changed: make(chan struct{}),
@@ -81,6 +99,17 @@ func (r *Run) setStatus(s Status) {
 
 // finish records the summary and appends the terminal summary event.
 func (r *Run) finish(sum experiment.StreamSummary) {
+	r.mu.Lock()
+	r.summary = &sum
+	r.mu.Unlock()
+	r.append(summaryEvent{Type: "summary", ID: r.ID, Summary: sum}, StatusDone)
+}
+
+// restoreDone rebuilds the terminal state of a run recovered from the
+// result store: the summary plus a synthesized accepted + summary
+// event log so /events replays exactly like a live run's.
+func (r *Run) restoreDone(sum experiment.StreamSummary) {
+	r.append(acceptedEvent{Type: "accepted", ID: r.ID, Name: r.Name, Hash: r.Hash, Runs: sum.Runs}, "")
 	r.mu.Lock()
 	r.summary = &sum
 	r.mu.Unlock()
@@ -134,14 +163,76 @@ func NewRegistry() *Registry {
 	return &Registry{runs: make(map[string]*Run)}
 }
 
-// Create registers a new run for cfg under a fresh ID.
-func (g *Registry) Create(hash string, cfg experiment.Config) *Run {
+// Create registers a new run for cfg under a fresh ID. specJSON (the
+// wire form of the submitted config, nil without a store) must be
+// attached here, before the run becomes visible to concurrent readers.
+func (g *Registry) Create(hash string, cfg experiment.Config, specJSON json.RawMessage) *Run {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	g.seq++
-	run := newRun(fmt.Sprintf("exp-%d", g.seq), hash, cfg)
+	run := newRun(fmt.Sprintf("exp-%d", g.seq), hash, cfg, SourceLive)
+	run.specJSON = specJSON
 	g.runs[run.ID] = run
 	return run
+}
+
+// Adopt registers a run recovered from durable state under its original
+// ID when that ID is still free (it is, across a normal restart), or a
+// fresh one otherwise. The sequence counter advances past every adopted
+// ID so post-recovery Creates never collide with pre-crash runs.
+func (g *Registry) Adopt(id, hash string, cfg experiment.Config, specJSON json.RawMessage, source string) *Run {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if n, ok := parseRunSeq(id); ok && n > g.seq {
+		g.seq = n
+	}
+	if id == "" || g.runs[id] != nil {
+		g.seq++
+		id = fmt.Sprintf("exp-%d", g.seq)
+	}
+	run := newRun(id, hash, cfg, source)
+	run.specJSON = specJSON
+	g.runs[id] = run
+	return run
+}
+
+// parseRunSeq extracts N from an "exp-N" run ID.
+func parseRunSeq(id string) (int, bool) {
+	rest, found := strings.CutPrefix(id, "exp-")
+	if !found || rest == "" {
+		return 0, false
+	}
+	n := 0
+	for i := 0; i < len(rest); i++ {
+		if rest[i] < '0' || rest[i] > '9' {
+			return 0, false
+		}
+		n = n*10 + int(rest[i]-'0')
+	}
+	return n, true
+}
+
+// All returns a snapshot of every registered run, ordered by run
+// sequence (creation/adoption order across restarts).
+func (g *Registry) All() []*Run {
+	g.mu.Lock()
+	runs := make([]*Run, 0, len(g.runs))
+	for _, run := range g.runs {
+		runs = append(runs, run)
+	}
+	g.mu.Unlock()
+	sort.Slice(runs, func(i, j int) bool {
+		ni, iok := parseRunSeq(runs[i].ID)
+		nj, jok := parseRunSeq(runs[j].ID)
+		if iok && jok && ni != nj {
+			return ni < nj
+		}
+		if iok != jok {
+			return iok
+		}
+		return runs[i].ID < runs[j].ID
+	})
+	return runs
 }
 
 // Get resolves a run ID, or nil.

@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/experiment"
 	"repro/internal/parallel"
+	"repro/internal/store"
 )
 
 // Options tune the daemon.
@@ -46,6 +47,15 @@ type Options struct {
 	// EnablePprof mounts net/http/pprof under /debug/pprof/ on the
 	// daemon's mux.
 	EnablePprof bool
+	// Store, when non-nil, makes the daemon durable: completed summaries
+	// are written through to the on-disk result store, run transitions
+	// are journaled, and Recover() replays both at startup. Nil keeps
+	// the original fully in-memory behavior.
+	Store *store.Store
+	// JournalCompactEvery triggers a journal compaction (rewriting it to
+	// just the in-flight runs' records) once the journal holds at least
+	// this many records (default 256).
+	JournalCompactEvery int
 	// Logf receives one line per lifecycle transition (optional).
 	Logf func(format string, args ...any)
 }
@@ -60,6 +70,9 @@ func (o Options) withDefaults() Options {
 	if o.MaxRetained <= 0 {
 		o.MaxRetained = 256
 	}
+	if o.JournalCompactEvery <= 0 {
+		o.JournalCompactEvery = 256
+	}
 	if o.Logf == nil {
 		o.Logf = func(string, ...any) {}
 	}
@@ -71,6 +84,7 @@ type Server struct {
 	opts     Options
 	registry *Registry
 	cache    *Cache
+	store    *store.Store // nil = in-memory only
 
 	sem    chan struct{} // run slots
 	queued atomic.Int64  // admitted, waiting for a slot
@@ -80,6 +94,12 @@ type Server struct {
 	repsDone   atomic.Int64
 	runsDone   atomic.Int64
 	runsFailed atomic.Int64
+
+	storeHits     atomic.Int64 // POSTs answered by a disk-restored result
+	storeMisses   atomic.Int64 // POSTs that missed memory and disk and simulated
+	storeRestored atomic.Int64 // results re-indexed from the store
+	storeReplayed atomic.Int64 // in-flight runs re-enqueued by recovery
+	compactions   atomic.Int64 // journal compactions performed
 
 	retireMu sync.Mutex // guards retired
 	retired  []string   // terminal run IDs, oldest first
@@ -105,6 +125,7 @@ func New(opts Options) *Server {
 		opts:     opts,
 		registry: NewRegistry(),
 		cache:    NewCache(),
+		store:    opts.Store,
 		sem:      make(chan struct{}, opts.MaxConcurrent),
 		ctx:      ctx,
 		cancel:   cancel,
@@ -119,6 +140,7 @@ func (s *Server) Cache() *Cache { return s.cache }
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/experiments", s.handleSubmit)
+	mux.HandleFunc("GET /v1/experiments", s.handleList)
 	mux.HandleFunc("GET /v1/experiments/{id}", s.handleGet)
 	mux.HandleFunc("GET /v1/experiments/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -212,6 +234,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		resp := submitResponse{ID: existing.ID, Hash: hash, Status: status, URL: url, EventsURL: events}
 		if status == StatusDone {
 			s.cache.countHit()
+			if existing.Source == SourceStore {
+				s.storeHits.Add(1)
+			}
 			resp.Cached = true
 			s.opts.Logf("koalad: %s cache hit (%s)", existing.ID, hash[:12])
 			writeJSON(w, http.StatusOK, resp)
@@ -222,6 +247,25 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			writeJSON(w, http.StatusAccepted, resp)
 		}
 		return
+	}
+	// Memory missed; the on-disk store may still hold the result (a
+	// retention-evicted run, or one never loaded at recovery). Adopting
+	// it answers the POST without re-simulating. The file read happens
+	// under admitMu — a deliberate tradeoff: misses are about to pay
+	// seconds of simulation anyway, and probing outside the lock would
+	// need a re-check against concurrently admitted identical configs.
+	if s.store != nil {
+		if run := s.adoptStored(hash); run != nil {
+			s.admitMu.Unlock()
+			s.cache.countHit()
+			s.storeHits.Add(1)
+			url, events := runURLs(run.ID)
+			s.opts.Logf("koalad: %s store hit (%s)", run.ID, hash[:12])
+			writeJSON(w, http.StatusOK, submitResponse{
+				ID: run.ID, Hash: hash, Status: StatusDone, Cached: true, URL: url, EventsURL: events,
+			})
+			return
+		}
 	}
 	// Re-check closed under the lock: the early check is a fast path,
 	// this one is authoritative against a concurrent Shutdown (which
@@ -237,13 +281,27 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusTooManyRequests, "run queue is full")
 		return
 	}
+	// Only the admission path needs the wire-form spec (for the journal
+	// and its compaction); hits and coalesces never marshal it.
+	var specJSON json.RawMessage
+	if s.store != nil {
+		if specJSON, err = json.Marshal(spec); err != nil {
+			s.admitMu.Unlock()
+			writeError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		s.storeMisses.Add(1)
+	}
 	s.cache.countMiss()
-	run := s.registry.Create(hash, cfg)
+	run := s.registry.Create(hash, cfg, specJSON)
 	s.cache.Store(run)
 	s.queued.Add(1)
 	s.wg.Add(1) // inside the lock, so Shutdown's Wait covers this run
 	s.admitMu.Unlock()
 
+	// Journal the admission before acknowledging it: once the client
+	// holds a run ID, a crash must recover the run.
+	s.journalAppend(store.Record{Op: store.OpSubmitted, ID: run.ID, Hash: hash, Name: run.Name, Spec: run.specJSON})
 	run.append(acceptedEvent{Type: "accepted", ID: run.ID, Name: run.Name, Hash: hash, Runs: cfg.Runs}, "")
 	s.opts.Logf("koalad: %s accepted %s (%d runs, hash %s)", run.ID, run.Name, cfg.Runs, hash[:12])
 	go s.execute(run)
@@ -287,6 +345,7 @@ func (s *Server) execute(run *Run) {
 			s.cache.Evict(run)
 			s.runsFailed.Add(1)
 			run.fail(fmt.Sprintf("run panicked: %v", p))
+			s.journalAppend(store.Record{Op: store.OpFailed, ID: run.ID, Hash: run.Hash, Error: fmt.Sprintf("run panicked: %v", p)})
 			s.opts.Logf("koalad: %s panicked: %v\n%s", run.ID, p, debug.Stack())
 		}
 	}()
@@ -299,6 +358,8 @@ func (s *Server) execute(run *Run) {
 		s.cache.Evict(run)
 		s.runsFailed.Add(1)
 		run.fail("server shut down before the run started")
+		// Deliberately NOT journaled as failed: a run aborted by shutdown
+		// is exactly what recovery should re-enqueue on the next start.
 		return
 	}
 	defer func() { <-s.sem }()
@@ -306,6 +367,7 @@ func (s *Server) execute(run *Run) {
 	s.activeRuns.Add(1)
 	defer s.activeRuns.Add(-1)
 	run.setStatus(StatusRunning)
+	s.journalAppend(store.Record{Op: store.OpStarted, ID: run.ID, Hash: run.Hash})
 	if s.blockRuns != nil {
 		<-s.blockRuns
 	}
@@ -331,12 +393,57 @@ func (s *Server) execute(run *Run) {
 		s.cache.Evict(run)
 		s.runsFailed.Add(1)
 		run.fail(err.Error())
+		if s.ctx.Err() == nil {
+			// A real failure is journaled terminal; a shutdown abort is
+			// left in-flight so the next start re-runs it.
+			s.journalAppend(store.Record{Op: store.OpFailed, ID: run.ID, Hash: run.Hash, Error: err.Error()})
+		}
 		s.opts.Logf("koalad: %s failed: %v", run.ID, err)
 		return
 	}
+	sum := res.Summary()
 	s.runsDone.Add(1)
-	run.finish(res.Summary())
+	// Terminal in memory first: when the OpCompleted append triggers a
+	// journal compaction, the run must already read as done, or the
+	// compaction would keep its submitted record and erase the
+	// completed one (a crash would then needlessly re-run it).
+	run.finish(sum)
+	s.persistResult(run, sum)
 	s.opts.Logf("koalad: %s done (%d jobs, %d replications)", run.ID, res.Jobs(), len(res.Replications))
+}
+
+// listItem is one row of GET /v1/experiments: enough to find a run and
+// tell whether its result was simulated here (live) or restored from
+// the on-disk store (store).
+type listItem struct {
+	ID        string `json:"id"`
+	Name      string `json:"name,omitempty"`
+	Hash      string `json:"hash"`
+	Status    Status `json:"status"`
+	Source    string `json:"source"`
+	URL       string `json:"url"`
+	EventsURL string `json:"events_url"`
+}
+
+// listResponse is the GET /v1/experiments body.
+type listResponse struct {
+	Experiments []listItem `json:"experiments"`
+}
+
+// handleList enumerates every resident run in sequence order — until
+// now results were only reachable by ID, so a client that lost its IDs
+// had to replay its submissions.
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	runs := s.registry.All()
+	items := make([]listItem, 0, len(runs))
+	for _, run := range runs {
+		url, events := runURLs(run.ID)
+		items = append(items, listItem{
+			ID: run.ID, Name: run.Name, Hash: run.Hash, Status: run.Status(),
+			Source: run.Source, URL: url, EventsURL: events,
+		})
+	}
+	writeJSON(w, http.StatusOK, listResponse{Experiments: items})
 }
 
 // getResponse is the GET /v1/experiments/{id} body.
@@ -456,6 +563,22 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		{"koalad_cache_coalesced_total", "Submissions attached to an in-flight identical run.", "counter", s.cache.Coalesced()},
 		{"koalad_cache_misses_total", "Submissions that started a new run.", "counter", s.cache.Misses()},
 		{"koalad_cache_hit_rate", "hits / (hits + misses).", "gauge", s.cache.HitRate()},
+	}
+	if s.store != nil {
+		st := s.store.Stats()
+		metrics = append(metrics,
+			metric{"koalad_store_entries", "Results in the on-disk store.", "gauge", st.Entries},
+			metric{"koalad_store_bytes", "Bytes of results in the on-disk store.", "gauge", st.Bytes},
+			metric{"koalad_store_hits_total", "Submissions answered by a disk-restored result.", "counter", s.storeHits.Load()},
+			metric{"koalad_store_misses_total", "Submissions that missed memory and disk and simulated.", "counter", s.storeMisses.Load()},
+			metric{"koalad_store_restored_total", "Results re-indexed from the store (recovery + lazy adoption).", "counter", s.storeRestored.Load()},
+			metric{"koalad_store_replayed_total", "In-flight runs re-enqueued by startup recovery.", "counter", s.storeReplayed.Load()},
+			metric{"koalad_store_skipped_total", "Corrupt or incompatible on-disk artifacts skipped.", "counter", st.Skipped},
+			metric{"koalad_store_gc_removed_total", "Store entries removed by GC.", "counter", st.GCRemoved},
+			metric{"koalad_store_gc_bytes_total", "Bytes reclaimed by GC.", "counter", st.GCBytes},
+			metric{"koalad_journal_records", "Records currently in the run journal.", "gauge", s.store.Journal().Records()},
+			metric{"koalad_journal_compactions_total", "Journal compactions performed.", "counter", s.compactions.Load()},
+		)
 	}
 	for _, m := range metrics {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %v\n", m.name, m.help, m.name, m.typ, m.name, m.value)

@@ -307,6 +307,76 @@ func TestCoalescedSubmission(t *testing.T) {
 	}
 }
 
+// TestListExperiments pins GET /v1/experiments: every resident run in
+// sequence order with id, fingerprint, status and source — the only
+// way to find a result again without having kept its ID.
+func TestListExperiments(t *testing.T) {
+	s, ts := newTestServer(t, Options{})
+
+	// Empty daemon: an empty list, not a 404 or null.
+	var list listResponse
+	if err := json.Unmarshal(mustGet(t, ts, "/v1/experiments"), &list); err != nil {
+		t.Fatal(err)
+	}
+	if list.Experiments == nil || len(list.Experiments) != 0 {
+		t.Fatalf("empty list = %+v", list.Experiments)
+	}
+
+	release := make(chan struct{})
+	s.blockRuns = release // pin the second run in Running for a mixed-status list
+	sr1, _ := postConfig(t, ts, tinyConfig)
+	waitStatus(t, s, sr1.ID, StatusRunning)
+	sr2, _ := postConfig(t, ts, strings.Replace(tinyConfig, `"seed": 1`, `"seed": 2`, 1))
+
+	if err := json.Unmarshal(mustGet(t, ts, "/v1/experiments"), &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Experiments) != 2 {
+		t.Fatalf("list = %d entries, want 2", len(list.Experiments))
+	}
+	for i, want := range []submitResponse{sr1, sr2} {
+		got := list.Experiments[i]
+		if got.ID != want.ID || got.Hash != want.Hash || got.Source != SourceLive {
+			t.Fatalf("list[%d] = %+v, want run %s", i, got, want.ID)
+		}
+		if got.URL != "/v1/experiments/"+want.ID || got.EventsURL != got.URL+"/events" {
+			t.Fatalf("list[%d] urls = %+v", i, got)
+		}
+	}
+	if st := list.Experiments[0].Status; st != StatusRunning && st != StatusQueued {
+		t.Fatalf("list[0].Status = %s", st)
+	}
+	close(release)
+	readEvents(t, ts, sr1.ID)
+	readEvents(t, ts, sr2.ID)
+
+	if err := json.Unmarshal(mustGet(t, ts, "/v1/experiments"), &list); err != nil {
+		t.Fatal(err)
+	}
+	for i, item := range list.Experiments {
+		if item.Status != StatusDone {
+			t.Fatalf("list[%d] after completion = %+v", i, item)
+		}
+	}
+}
+
+func mustGet(t *testing.T, ts *httptest.Server, path string) []byte {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s = %d", path, resp.StatusCode)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
 // waitStatus polls until the run reaches the wanted state (transitions
 // happen in the execute goroutine just after POST returns).
 func waitStatus(t *testing.T, s *Server, id string, want Status) {
