@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench bench-smoke vet figures serve
+.PHONY: build test bench bench-smoke bench-compare vet figures serve
 
 build:
 	$(GO) build ./...
@@ -16,7 +16,7 @@ test: vet
 # the default each PR, or override: make bench BENCH_OUT=BENCH_PRn.json.
 # Two steps so a failing benchmark run fails the target instead of being
 # masked by the pipe's exit status.
-BENCH_OUT ?= BENCH_PR4.json
+BENCH_OUT ?= BENCH_PR5.json
 
 bench:
 	$(GO) test -run=NONE -bench=. -benchmem -count=1 . ./internal/sim ./internal/koala > bench.raw.tmp
@@ -25,7 +25,17 @@ bench:
 
 # One iteration of every benchmark — a fast CI smoke that they still run.
 bench-smoke:
-	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+	$(GO) test -run=NONE -bench=. -benchtime=1x -benchmem ./...
+
+# The CI regression gate, locally: a 1x smoke run diffed against the
+# committed baseline (allocs/op gates; ns/op needs >1 iteration).
+BENCH_BASELINE ?= BENCH_PR3.json
+
+bench-compare:
+	$(GO) test -run=NONE -bench=. -benchtime=1x -benchmem ./... > bench.smoke.tmp
+	$(GO) run ./tools/benchjson -o bench.smoke.json < bench.smoke.tmp > /dev/null
+	$(GO) run ./tools/benchjson -compare $(BENCH_BASELINE) bench.smoke.json -threshold 10
+	@rm -f bench.smoke.tmp bench.smoke.json
 
 figures: build
 	$(GO) run ./cmd/figures -runs 4

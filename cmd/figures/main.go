@@ -18,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"repro/internal/buildinfo"
@@ -27,7 +28,7 @@ import (
 func main() {
 	version := flag.Bool("version", false, "print version and exit")
 	runs := flag.Int("runs", 4, "independent runs per combination (the paper uses 4)")
-	par := flag.Int("parallel", 0, "worker goroutines per sweep fan-out (0 = one per CPU, 1 = serial)")
+	par := flag.Int("parallel", runtime.GOMAXPROCS(0), "worker goroutines per sweep fan-out (1 = serial; default: one per CPU)")
 	seed := flag.Uint64("seed", 1, "base random seed")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned columns")
 	only := flag.String("only", "", "comma-separated subset (table1,6,7a..7f,8a..8f,summary)")
@@ -37,6 +38,14 @@ func main() {
 	if *version {
 		fmt.Println(buildinfo.String("figures"))
 		return
+	}
+	if *par < 1 {
+		fmt.Fprintf(os.Stderr, "figures: -parallel must be at least 1 worker (got %d); omit the flag for one per CPU\n", *par)
+		os.Exit(1)
+	}
+	if *runs < 1 {
+		fmt.Fprintf(os.Stderr, "figures: -runs must be at least 1 (got %d)\n", *runs)
+		os.Exit(1)
 	}
 
 	want := map[string]bool{}

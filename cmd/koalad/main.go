@@ -8,6 +8,7 @@
 // Usage:
 //
 //	koalad [-addr :8080] [-parallel N] [-max-runs N] [-queue N]
+//	       [-workers http://hostA:8080,http://hostB:8080] [-role worker]
 //	       [-data-dir DIR] [-store-max-bytes N] [-store-max-age D]
 //	       [-store-fsync] [-store-gc-interval D] [-pprof] [-version]
 //
@@ -15,12 +16,24 @@
 //
 //	POST /v1/experiments             submit a config (JSON), get a run ID
 //	GET  /v1/experiments             list resident runs (id, hash, status, source)
-//	GET  /v1/experiments/{id}        status + final summary
+//	GET  /v1/experiments/{id}        status, source, timings + final summary
 //	GET  /v1/experiments/{id}/events NDJSON progress stream (replay + follow)
-//	GET  /healthz                    liveness, version, queue gauges
+//	POST /v1/runs/execute            internal worker endpoint: submit + follow
+//	                                 in one NDJSON response (coordinators
+//	                                 dispatch shards here)
+//	GET  /healthz                    liveness, version, role, queue gauges
 //	GET  /metrics                    Prometheus text metrics
 //	GET  /debug/pprof/               live profiling (opt-in via -pprof; the
 //	                                 endpoints are unauthenticated)
+//
+// With -workers the daemon is a multi-node coordinator: admitted runs
+// are sharded across the listed worker daemons by config fingerprint
+// (the same config always lands on the same worker, so worker stores
+// dedupe re-submissions without simulating), progress streams back
+// through the normal event path, and a failed or unreachable worker
+// fails the run over to the local backend — results are byte-identical
+// either way. -role worker labels a daemon that only serves execution
+// (it refuses -workers, so work cannot be re-forwarded).
 //
 // With -data-dir the daemon is durable: completed summaries are written
 // through to a content-addressed on-disk store, run transitions are
@@ -44,9 +57,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/backend"
 	"repro/internal/buildinfo"
 	"repro/internal/server"
 	"repro/internal/store"
@@ -55,10 +71,12 @@ import (
 func main() {
 	version := flag.Bool("version", false, "print version and exit")
 	addr := flag.String("addr", ":8080", "listen address")
-	par := flag.Int("parallel", 0, "per-run simulation parallelism for configs that do not set their own (0 = one worker per CPU)")
+	par := flag.Int("parallel", runtime.GOMAXPROCS(0), "per-run simulation parallelism for configs that do not set their own (default: one worker per CPU)")
 	maxRuns := flag.Int("max-runs", 2, "maximum concurrently executing runs")
 	queue := flag.Int("queue", 8, "maximum admitted runs waiting for a slot (beyond it POST returns 429)")
 	retain := flag.Int("retain", 256, "terminal runs kept resident (results + event logs); the oldest beyond this are forgotten")
+	workers := flag.String("workers", "", "comma-separated worker koalad base URLs (http://host:port): shard runs across them by config fingerprint, with local failover")
+	role := flag.String("role", "coordinator", "daemon role: coordinator (dispatches to -workers when set) or worker (execution only; refuses -workers)")
 	drainTimeout := flag.Duration("drain-timeout", 2*time.Minute, "how long a shutdown waits for in-flight runs before aborting them")
 	enablePprof := flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ on the daemon's mux (unauthenticated; enable only on trusted networks)")
 	dataDir := flag.String("data-dir", "", "directory for the persistent result store and run journal (empty = in-memory only, results do not survive a restart)")
@@ -74,6 +92,39 @@ func main() {
 	}
 
 	logger := log.New(os.Stderr, "", log.LstdFlags)
+	// Validate execution knobs up front: a bad value must fail the
+	// process at startup with a clear message, not surface as a wedged
+	// pool or a dispatch error minutes into a run.
+	if *par < 1 {
+		logger.Fatalf("koalad: -parallel must be at least 1 simulation worker (got %d); omit the flag for one per CPU", *par)
+	}
+	if *maxRuns < 1 {
+		logger.Fatalf("koalad: -max-runs must be at least 1 (got %d)", *maxRuns)
+	}
+	if *queue < 1 {
+		logger.Fatalf("koalad: -queue must be at least 1 (got %d)", *queue)
+	}
+	if *retain < 1 {
+		logger.Fatalf("koalad: -retain must be at least 1 (got %d)", *retain)
+	}
+	if *role != "coordinator" && *role != "worker" {
+		logger.Fatalf("koalad: -role must be coordinator or worker (got %q)", *role)
+	}
+	if *role == "worker" && *workers != "" {
+		logger.Fatalf("koalad: -role worker cannot dispatch; drop -workers (a worker must never re-forward runs)")
+	}
+	var be backend.Backend
+	if *workers != "" {
+		rb, err := backend.NewRemote(backend.RemoteOptions{
+			Workers: strings.Split(*workers, ","),
+			Logf:    logger.Printf,
+		})
+		if err != nil {
+			logger.Fatalf("koalad: %v", err)
+		}
+		be = rb
+		logger.Printf("koalad: dispatching to %d workers: %s", len(rb.Workers()), strings.Join(rb.Workers(), ", "))
+	}
 	var st *store.Store
 	if *dataDir != "" {
 		var err error
@@ -91,6 +142,8 @@ func main() {
 		Version:       buildinfo.Version(),
 		EnablePprof:   *enablePprof,
 		Store:         st,
+		Backend:       be,
+		Role:          *role,
 		Logf:          logger.Printf,
 	})
 	if st != nil {

@@ -7,16 +7,26 @@
 //	         [-approach PRA|PWA] [-placement WF|CF|CM|FCM]
 //	         [-runs N] [-parallel N] [-seed S] [-reserve N] [-poll SEC]
 //	         [-no-background] [-csv FILE] [-stream] [-version]
+//	         [-workers http://hostA:8080,http://hostB:8080]
 //	         [-cpuprofile FILE] [-memprofile FILE]
+//
+// With -workers the experiment executes on a remote koalad worker
+// (chosen by config fingerprint) instead of in-process, falling back
+// to local execution if the worker is unreachable; results are
+// byte-identical either way. Remote execution uses the streaming
+// aggregation path, so it requires -stream.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 
+	"repro/internal/backend"
 	"repro/internal/buildinfo"
 	"repro/internal/experiment"
 	"repro/internal/metrics"
@@ -36,13 +46,14 @@ func run() int {
 	approach := flag.String("approach", "PRA", "job management approach: PRA or PWA")
 	placement := flag.String("placement", "WF", "placement policy: WF, CF, CM, FCM")
 	runs := flag.Int("runs", 1, "independent runs to pool")
-	par := flag.Int("parallel", 0, "worker goroutines for the runs (0 = one per CPU, 1 = serial)")
+	par := flag.Int("parallel", runtime.GOMAXPROCS(0), "worker goroutines for the runs (1 = serial; default: one per CPU)")
 	seed := flag.Uint64("seed", 1, "base random seed")
 	reserve := flag.Int("reserve", 0, "growth reserve per cluster for local users")
 	poll := flag.Float64("poll", 0, "scheduler poll interval in seconds (0 = default)")
 	noBg := flag.Bool("no-background", false, "disable bypassing local users")
 	csvPath := flag.String("csv", "", "write per-job records to this CSV file")
 	stream := flag.Bool("stream", false, "stream per-replication aggregates instead of pooling records (constant memory; quantiles are sketch-approximate; incompatible with -csv)")
+	workers := flag.String("workers", "", "comma-separated koalad worker base URLs: execute the experiment on a remote worker instead of in-process (requires -stream)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the experiment to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile (after the experiment) to this file")
 	flag.Parse()
@@ -51,9 +62,36 @@ func run() int {
 		fmt.Println(buildinfo.String("koalasim"))
 		return 0
 	}
+	// Fail bad execution knobs fast, before any simulation state exists.
+	if *par < 1 {
+		fmt.Fprintf(os.Stderr, "koalasim: -parallel must be at least 1 worker (got %d); omit the flag for one per CPU\n", *par)
+		return 1
+	}
+	if *runs < 1 {
+		fmt.Fprintf(os.Stderr, "koalasim: -runs must be at least 1 (got %d)\n", *runs)
+		return 1
+	}
 	if *stream && *csvPath != "" {
 		fmt.Fprintln(os.Stderr, "koalasim: -csv needs per-job records, which -stream does not retain")
 		return 1
+	}
+	if *workers != "" && !*stream {
+		fmt.Fprintln(os.Stderr, "koalasim: -workers executes remotely on the streaming path; add -stream")
+		return 1
+	}
+	var remote *backend.Remote
+	if *workers != "" {
+		var err error
+		remote, err = backend.NewRemote(backend.RemoteOptions{
+			Workers: strings.Split(*workers, ","),
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "koalasim: "+format+"\n", args...)
+			},
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "koalasim:", err)
+			return 1
+		}
 	}
 	spec, err := workload.SpecByName(*wl, *seed)
 	if err != nil {
@@ -104,22 +142,35 @@ func run() int {
 	}
 
 	if *stream {
-		res, err := experiment.RunStream(cfg)
+		var res *experiment.StreamResult
+		var err error
+		if remote != nil {
+			res, err = remote.RunPoint(context.Background(), cfg, experiment.StreamHooks{})
+		} else {
+			res, err = experiment.RunStream(cfg)
+		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "koalasim:", err)
 			return 1
 		}
-		fmt.Printf("experiment : %s/%s/%s placement=%s runs=%d seed=%d (streamed)\n",
-			*approach, *policy, spec.Name, *placement, *runs, *seed)
-		fmt.Printf("jobs       : %d finished, %d rejected\n", res.Jobs(), res.Rejected())
-		fmt.Printf("exec time  : %s\n", res.Agg.Exec.Summary())
-		fmt.Printf("response   : %s\n", res.Agg.Response.Summary())
-		if res.Agg.Malleable > 0 {
-			fmt.Printf("avg procs  : %s\n", res.Agg.AvgProcs.Summary())
-			fmt.Printf("max procs  : %s\n", res.Agg.MaxProcs.Summary())
+		where := "streamed"
+		if remote != nil {
+			where = "streamed via workers"
 		}
-		fmt.Printf("mean util  : %.1f processors\n", res.MeanUtilization())
-		fmt.Printf("ops/run    : %.1f malleability operations\n", res.TotalOps())
+		// Print from the wire summary: identical for local and remote
+		// execution (remote results carry no in-process aggregate).
+		sum := res.Summary()
+		fmt.Printf("experiment : %s/%s/%s placement=%s runs=%d seed=%d (%s)\n",
+			*approach, *policy, spec.Name, *placement, *runs, *seed, where)
+		fmt.Printf("jobs       : %d finished, %d rejected\n", sum.Jobs, sum.Rejected)
+		fmt.Printf("exec time  : %s\n", sum.Exec)
+		fmt.Printf("response   : %s\n", sum.Response)
+		if sum.Malleable > 0 {
+			fmt.Printf("avg procs  : %s\n", sum.AvgProcs)
+			fmt.Printf("max procs  : %s\n", sum.MaxProcs)
+		}
+		fmt.Printf("mean util  : %.1f processors\n", sum.MeanUtilization)
+		fmt.Printf("ops/run    : %.1f malleability operations\n", sum.OpsPerRun)
 		return 0
 	}
 

@@ -1,0 +1,27 @@
+package backend
+
+import (
+	"context"
+
+	"repro/internal/experiment"
+)
+
+// Local executes points in this process on the bounded replication
+// pool (experiment's in-process PointRunner; cfg.Parallelism sizes the
+// pool per point). It is the default backend of every driver, and the
+// failover target of Remote. The zero value is ready to use.
+type Local struct{}
+
+// Name implements Backend.
+func (Local) Name() string { return "local" }
+
+// RunPoint implements Backend on the in-process pool.
+func (Local) RunPoint(ctx context.Context, cfg experiment.Config, hooks experiment.StreamHooks) (*experiment.StreamResult, error) {
+	return experiment.RunStreamContext(ctx, cfg, hooks)
+}
+
+// Health implements Backend: the process that asks is the process that
+// runs, so Local is always healthy.
+func (Local) Health(context.Context) Health {
+	return Health{Healthy: true, Detail: "in-process", Workers: 1}
+}

@@ -1,0 +1,286 @@
+package backend
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/experiment"
+)
+
+// ExecutePath is the internal worker endpoint Remote dispatches to: a
+// koalad POSTs a ConfigSpec there and streams the run's NDJSON events
+// back in the response body (see internal/server's handleExecute).
+const ExecutePath = "/v1/runs/execute"
+
+// RemoteOptions configure a Remote backend.
+type RemoteOptions struct {
+	// Workers are the worker daemons' base URLs (http://host:port).
+	// Required, and validated by NewRemote — a malformed URL fails at
+	// construction, not at first dispatch.
+	Workers []string
+	// Client issues the dispatch requests (default: a client with no
+	// overall timeout — runs are long; cancellation comes from ctx).
+	Client *http.Client
+	// Fallback executes points whose worker failed (default Local{}).
+	Fallback Backend
+	// Logf receives one line per dispatch failure/failover (optional).
+	Logf func(format string, args ...any)
+}
+
+// Remote shards experiment points across worker koalad daemons by the
+// config's canonical fingerprint: the same point always lands on the
+// same worker, so a worker's content-addressed store accumulates
+// exactly the shard it owns and answers re-submissions without
+// simulating. A failed or unreachable worker fails the point over to
+// the fallback backend; the result is byte-identical either way, so
+// failover costs time, never correctness.
+type Remote struct {
+	workers  []string
+	client   *http.Client
+	fallback Backend
+	logf     func(format string, args ...any)
+
+	dispatched atomic.Int64 // points sent to a worker
+	remoteDone atomic.Int64 // points completed by a worker
+	failovers  atomic.Int64 // points re-run on the fallback
+}
+
+// NewRemote validates the worker URLs and assembles the backend.
+func NewRemote(opts RemoteOptions) (*Remote, error) {
+	if len(opts.Workers) == 0 {
+		return nil, fmt.Errorf("backend: remote needs at least one worker URL")
+	}
+	workers := make([]string, 0, len(opts.Workers))
+	for _, raw := range opts.Workers {
+		w := strings.TrimSpace(raw)
+		if w == "" {
+			return nil, fmt.Errorf("backend: empty worker URL")
+		}
+		u, err := url.Parse(w)
+		if err != nil {
+			return nil, fmt.Errorf("backend: worker URL %q: %v", w, err)
+		}
+		if (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" || u.User != nil ||
+			u.RawQuery != "" || u.Fragment != "" || (u.Path != "" && u.Path != "/") {
+			return nil, fmt.Errorf("backend: worker URL %q: need http(s)://host[:port] with no path or query", w)
+		}
+		workers = append(workers, u.Scheme+"://"+u.Host)
+	}
+	r := &Remote{
+		workers:  workers,
+		client:   opts.Client,
+		fallback: opts.Fallback,
+		logf:     opts.Logf,
+	}
+	if r.client == nil {
+		r.client = &http.Client{}
+	}
+	if r.fallback == nil {
+		r.fallback = Local{}
+	}
+	if r.logf == nil {
+		r.logf = func(string, ...any) {}
+	}
+	return r, nil
+}
+
+// Name implements Backend.
+func (r *Remote) Name() string { return "remote" }
+
+// Workers returns the validated worker base URLs.
+func (r *Remote) Workers() []string { return append([]string(nil), r.workers...) }
+
+// shardIndex maps a fingerprint onto a worker. FNV-1a over the hex
+// hash: stable across processes and restarts, so every coordinator
+// agrees where a config lives.
+func shardIndex(hash string, n int) int {
+	h := fnv.New64a()
+	_, _ = io.WriteString(h, hash)
+	return int(h.Sum64() % uint64(n))
+}
+
+// RunPoint implements Backend: fingerprint, shard, dispatch, and on
+// any worker failure — unreachable at submit, non-200, or mid-stream
+// death — fall back to the local backend. Hooks already fired for
+// replications the worker streamed before dying fire again during the
+// fallback run; the returned result is the complete point either way.
+func (r *Remote) RunPoint(ctx context.Context, cfg experiment.Config, hooks experiment.StreamHooks) (*experiment.StreamResult, error) {
+	hash, err := experiment.Fingerprint(cfg)
+	if err != nil {
+		return nil, err
+	}
+	worker := r.workers[shardIndex(hash, len(r.workers))]
+	r.dispatched.Add(1)
+	res, err := r.runOn(ctx, worker, cfg, hooks)
+	if err == nil {
+		r.remoteDone.Add(1)
+		return res, nil
+	}
+	if ctx.Err() != nil {
+		// The point was canceled, not the worker broken; surface it.
+		return nil, err
+	}
+	r.failovers.Add(1)
+	r.logf("backend: worker %s failed for %s (%s): %v; failing over to %s",
+		worker, cfg.Name, shortHash(hash), err, r.fallback.Name())
+	return r.fallback.RunPoint(ctx, cfg, hooks)
+}
+
+func shortHash(h string) string {
+	if len(h) > 12 {
+		return h[:12]
+	}
+	return h
+}
+
+// wireEvent is the union of the worker's NDJSON event shapes; unknown
+// event types and extra fields are skipped, so workers may grow their
+// event vocabulary without breaking older coordinators.
+type wireEvent struct {
+	Type    string          `json:"type"`
+	Error   string          `json:"error"`
+	Summary json.RawMessage `json:"summary"`
+	experiment.Replication
+}
+
+// runOn executes one point on a worker: POST the resolved ConfigSpec,
+// replay the run's NDJSON events into hooks, and rebuild the result
+// from the terminal summary. Any transport or protocol trouble returns
+// an error — the caller owns failover.
+func (r *Remote) runOn(ctx context.Context, worker string, cfg experiment.Config, hooks experiment.StreamHooks) (*experiment.StreamResult, error) {
+	spec, err := experiment.SpecFromConfig(cfg)
+	if err != nil {
+		return nil, err
+	}
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, worker+ExecutePath, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+		return nil, fmt.Errorf("worker returned %d: %s", resp.StatusCode, strings.TrimSpace(string(msg)))
+	}
+
+	// Read lines with a plain buffered reader, not a Scanner: the
+	// terminal summary event embeds every replication, so a large point
+	// (thousands of runs) produces a line far beyond any fixed Scanner
+	// cap — and truncating it would throw away a fully simulated result
+	// and re-run the whole point locally.
+	br := bufio.NewReaderSize(resp.Body, 64<<10)
+	for {
+		line, err := br.ReadBytes('\n')
+		if err != nil && err != io.EOF {
+			return nil, fmt.Errorf("worker stream died: %w", err)
+		}
+		atEOF := err == io.EOF
+		line = bytes.TrimSpace(line)
+		if len(line) == 0 {
+			if atEOF {
+				break
+			}
+			continue
+		}
+		var ev wireEvent
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return nil, fmt.Errorf("bad event line from worker: %w", err)
+		}
+		switch ev.Type {
+		case "replication":
+			// The worker reports completions only; synthesize the start
+			// so OnStart/OnDone gauges stay paired.
+			if hooks.OnStart != nil {
+				hooks.OnStart(ev.Rep, ev.Seed)
+			}
+			if hooks.OnDone != nil {
+				hooks.OnDone(ev.Replication)
+			}
+		case "summary":
+			// Strict summary decode: a worker speaking an incompatible
+			// schema is a failover, not a silent half-result.
+			sum, err := experiment.DecodeSummary(ev.Summary)
+			if err != nil {
+				return nil, err
+			}
+			return experiment.StreamResultFromSummary(cfg, sum), nil
+		case "error":
+			return nil, fmt.Errorf("worker run failed: %s", ev.Error)
+		}
+		if atEOF {
+			break
+		}
+	}
+	return nil, fmt.Errorf("worker stream ended without a summary")
+}
+
+// Health implements Backend: probe every worker's /healthz and report
+// how many answered.
+func (r *Remote) Health(ctx context.Context) Health {
+	ctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+	defer cancel()
+	up := 0
+	var detail []string
+	for _, w := range r.workers {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, w+"/healthz", nil)
+		if err != nil {
+			detail = append(detail, w+": "+err.Error())
+			continue
+		}
+		resp, err := r.client.Do(req)
+		if err != nil {
+			detail = append(detail, w+": unreachable")
+			continue
+		}
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			up++
+		} else {
+			detail = append(detail, fmt.Sprintf("%s: status %d", w, resp.StatusCode))
+		}
+	}
+	h := Health{Healthy: up > 0, Workers: up}
+	if len(detail) == 0 {
+		h.Detail = fmt.Sprintf("%d/%d workers up", up, len(r.workers))
+	} else {
+		h.Detail = fmt.Sprintf("%d/%d workers up (%s)", up, len(r.workers), strings.Join(detail, "; "))
+	}
+	return h
+}
+
+// RemoteStats are the dispatch counters koalad exposes on /metrics.
+type RemoteStats struct {
+	Workers    int   // configured workers
+	Dispatched int64 // points sent to a worker
+	RemoteDone int64 // points completed by a worker
+	Failovers  int64 // points re-run on the fallback backend
+}
+
+// Stats snapshots the dispatch counters.
+func (r *Remote) Stats() RemoteStats {
+	return RemoteStats{
+		Workers:    len(r.workers),
+		Dispatched: r.dispatched.Load(),
+		RemoteDone: r.remoteDone.Load(),
+		Failovers:  r.failovers.Load(),
+	}
+}

@@ -1,0 +1,69 @@
+package backend
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/experiment"
+)
+
+// TestShardIndexStable pins the shard function's contract: pure in the
+// fingerprint, always in range, and not constant over distinct hashes
+// (so multiple workers actually share a sweep).
+func TestShardIndexStable(t *testing.T) {
+	hashes := []string{
+		"0000000000000000000000000000000000000000000000000000000000000000",
+		"9f86d081884c7d659a2feaa0c55ad015a3bf4f1b2b0b822cd15d6c15b0f00a08",
+		"2c26b46b68ffc68ff99b453c1d30413413422d706483bfa0f98a5e886266e7ae",
+		"fcde2b2edba56bf408601fb721fe9b5c338d10ee429ea04fae5511b68fbf8fb9",
+	}
+	seen := map[int]bool{}
+	for _, h := range hashes {
+		for _, n := range []int{1, 2, 3, 7} {
+			i := shardIndex(h, n)
+			if i < 0 || i >= n {
+				t.Fatalf("shardIndex(%s, %d) = %d out of range", h[:8], n, i)
+			}
+			if j := shardIndex(h, n); j != i {
+				t.Fatalf("shardIndex not deterministic: %d then %d", i, j)
+			}
+		}
+		seen[shardIndex(h, 4)] = true
+	}
+	if len(seen) < 2 {
+		t.Fatalf("4 distinct hashes over 4 workers all landed on the same shard: %v", seen)
+	}
+}
+
+// TestShardAssignmentOfCISmokeConfigs pins the exact shard each config
+// of the koalad-multinode-smoke CI job lands on with two workers: the
+// job asserts per-worker dispatch counters from these assignments, so
+// a change to the shard function or the fingerprint must fail here,
+// in `go test`, not as an obscure CI counter mismatch.
+func TestShardAssignmentOfCISmokeConfigs(t *testing.T) {
+	smoke := func(seed int) string {
+		return fmt.Sprintf(`{"workload":{"name":"smoke","jobs":6,"inter_arrival":30,"malleable_fraction":1,"initial_size":2,"rigid_size":2},"grid":{"clusters":[{"name":"A","nodes":48},{"name":"B","nodes":32}]},"no_background":true,"runs":2,"seed":%d}`, seed)
+	}
+	// seed -> worker index in the job's two-worker topology (seed 10 is
+	// the failover shard: it must map to the worker the job kills).
+	want := map[int]int{7: 1, 8: 0, 10: 1}
+	for seed, shard := range want {
+		spec, err := experiment.DecodeConfigSpec(strings.NewReader(smoke(seed)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg, err := spec.Config()
+		if err != nil {
+			t.Fatal(err)
+		}
+		hash, err := experiment.Fingerprint(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := shardIndex(hash, 2); got != shard {
+			t.Errorf("CI smoke config seed %d shards to worker %d, the CI job assumes %d — update .github/workflows/ci.yml",
+				seed, got, shard)
+		}
+	}
+}

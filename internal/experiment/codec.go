@@ -243,6 +243,70 @@ func (s *ConfigSpec) Config() (Config, error) {
 	return cfg, nil
 }
 
+// SpecFromConfig renders a config back into its wire form so a
+// coordinator can ship it to a worker daemon. The spec is fully
+// resolved — defaults applied, presets expanded into an inline
+// workload, the grid evaluated into a cluster list — so round-tripping
+// it through ConfigSpec.Config() on the worker yields a config with
+// the same Fingerprint (and therefore the same simulated results).
+// Parallelism is deliberately dropped: it does not change results, and
+// each worker picks its own.
+func SpecFromConfig(cfg Config) (ConfigSpec, error) {
+	cfg = cfg.withDefaults()
+	spec := ConfigSpec{
+		Name: cfg.Name,
+		Workload: WorkloadSpec{
+			Name:              cfg.Workload.Name,
+			Jobs:              cfg.Workload.Jobs,
+			InterArrival:      cfg.Workload.InterArrival,
+			PoissonArrivals:   cfg.Workload.PoissonArrivals,
+			MalleableFraction: cfg.Workload.MalleableFraction,
+			InitialSize:       cfg.Workload.InitialSize,
+			RigidSize:         cfg.Workload.RigidSize,
+		},
+		Policy:              cfg.Policy,
+		Approach:            cfg.Approach,
+		Placement:           cfg.Placement,
+		Runs:                cfg.Runs,
+		Seed:                cfg.Seed,
+		PollInterval:        cfg.PollInterval,
+		SamplePeriod:        cfg.SamplePeriod,
+		GrowthReserve:       cfg.GrowthReserve,
+		Horizon:             cfg.Horizon,
+		DisableMalleability: cfg.DisableMalleability,
+	}
+	grid := cfg.Grid()
+	if grid == nil {
+		return ConfigSpec{}, fmt.Errorf("experiment: config grid returned nil")
+	}
+	gs := &GridSpec{}
+	for _, c := range grid.Clusters() {
+		gs.Clusters = append(gs.Clusters, ClusterSpec{Name: c.Name(), Nodes: c.Nodes()})
+	}
+	spec.Grid = gs
+	if cfg.GramOverride != nil {
+		spec.Gram = &GramSpec{
+			SubmitLatency:     cfg.GramOverride.SubmitLatency,
+			ReleaseLatency:    cfg.GramOverride.ReleaseLatency,
+			SubmitConcurrency: cfg.GramOverride.SubmitConcurrency,
+		}
+	}
+	// Post-defaults, a nil Background means "none" (withDefaults would
+	// otherwise have filled in DefaultBackground) — say so explicitly,
+	// or the worker's own defaulting would re-add it and change the
+	// fingerprint.
+	if cfg.Background != nil {
+		spec.Background = &BackgroundSpec{
+			MeanInterArrival: cfg.Background.MeanInterArrival,
+			MeanDuration:     cfg.Background.MeanDuration,
+			MaxNodes:         cfg.Background.MaxNodes,
+		}
+	} else {
+		spec.NoBackground = true
+	}
+	return spec, nil
+}
+
 // canonicalConfig is the hashed form: only fields that change the
 // simulation's outcome, fully resolved (defaults applied, presets
 // expanded, grid evaluated), in a fixed field order. Name and

@@ -49,7 +49,27 @@ type Replication struct {
 type StreamResult struct {
 	Config       Config
 	Replications []Replication
-	Agg          *metrics.Aggregate
+	// Agg holds the merged aggregate for points executed in this
+	// process. It is nil for results received from a remote backend —
+	// only the wire summary crosses the process boundary — in which
+	// case the accessors read the precomputed summary instead.
+	Agg *metrics.Aggregate
+
+	// summary, when non-nil, is the precomputed wire summary of a
+	// remotely executed point (see StreamResultFromSummary).
+	summary *StreamSummary
+}
+
+// StreamResultFromSummary rebuilds a StreamResult from its wire
+// summary — how a remote backend's result re-enters the driver layer.
+// Summary() returns sum unchanged, so EncodeSummary over the rebuilt
+// result is byte-identical to the bytes the worker produced.
+func StreamResultFromSummary(cfg Config, sum StreamSummary) *StreamResult {
+	return &StreamResult{
+		Config:       cfg,
+		Replications: append([]Replication(nil), sum.Replications...),
+		summary:      &sum,
+	}
 }
 
 // summarizeReplication reduces a full RunResult to its compact form
@@ -91,6 +111,53 @@ func RunStream(cfg Config) (*StreamResult, error) {
 	return RunStreamContext(context.Background(), cfg, StreamHooks{})
 }
 
+// PointRunner executes one experiment point — a config's full set of
+// seeded replications — and returns its streaming result. It is the
+// seam between the experiment drivers (RunStream*, RunSetStream*) and
+// the execution substrate: internal/backend implements it in-process
+// (backend.Local, the bounded pool below) and over HTTP to worker
+// daemons (backend.Remote). Every implementation must be
+// deterministic: the result's Summary() encoding depends only on the
+// config, never on which substrate ran it.
+type PointRunner interface {
+	RunPoint(ctx context.Context, cfg Config, hooks StreamHooks) (*StreamResult, error)
+}
+
+// localPoint is the in-process PointRunner: the PR-1 bounded worker
+// pool over the point's independent seeded replications, merged in
+// replication order (deterministic for any parallelism).
+type localPoint struct {
+	// lim, when non-nil, replaces the per-point cfg.Parallelism pool
+	// with a shared budget: concurrent RunPoint calls draw replication
+	// slots from the same limiter, so a whole sweep is bounded
+	// globally no matter how its points interleave.
+	lim parallel.Limiter
+}
+
+func (p localPoint) RunPoint(ctx context.Context, cfg Config, hooks StreamHooks) (*StreamResult, error) {
+	cfg = cfg.withDefaults()
+	reps := make([]Replication, cfg.Runs)
+	aggs := make([]*metrics.Aggregate, cfg.Runs)
+	body := func(_ context.Context, i int) error {
+		rep, agg, err := streamOne(cfg, i, hooks)
+		if err != nil {
+			return err
+		}
+		reps[i], aggs[i] = rep, agg
+		return nil
+	}
+	var err error
+	if p.lim != nil {
+		err = parallel.ForEachShared(ctx, cfg.Runs, p.lim, body)
+	} else {
+		err = parallel.ForEach(ctx, cfg.Runs, cfg.Parallelism, body)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return newStreamResult(cfg, reps, aggs), nil
+}
+
 // streamOne executes replication i of cfg and reduces it to its
 // compact form. A panicking replication must not unwind the worker
 // goroutine: the streaming path serves long-running daemons (koalad),
@@ -126,67 +193,61 @@ func newStreamResult(cfg Config, reps []Replication, aggs []*metrics.Aggregate) 
 	return out
 }
 
-// RunStreamContext is RunStream with cancellation and progress hooks.
-// The returned result merges the replication aggregates in replication
-// order, so it is identical for any parallelism.
+// RunStreamContext is RunStream with cancellation and progress hooks —
+// a thin driver over the in-process point runner. The returned result
+// merges the replication aggregates in replication order, so it is
+// identical for any parallelism.
 func RunStreamContext(ctx context.Context, cfg Config, hooks StreamHooks) (*StreamResult, error) {
-	cfg = cfg.withDefaults()
-	reps := make([]Replication, cfg.Runs)
-	aggs := make([]*metrics.Aggregate, cfg.Runs)
-	err := parallel.ForEach(ctx, cfg.Runs, cfg.Parallelism, func(_ context.Context, i int) error {
-		rep, agg, err := streamOne(cfg, i, hooks)
-		if err != nil {
-			return err
-		}
-		reps[i], aggs[i] = rep, agg
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	return newStreamResult(cfg, reps, aggs), nil
+	return localPoint{}.RunPoint(ctx, cfg, hooks)
 }
 
-// RunSetStream is the streaming counterpart of RunSet: it expands an
-// approach's combos via ComboConfigs and flattens every (combo,
-// replication) pair into one bounded pool — base.Parallelism bounds
-// the total number of concurrent simulations, exactly like the batch
-// sweep — returning one StreamResult per combo, in combo order.
-func RunSetStream(ctx context.Context, approach string, combos []Combo, base Config) ([]*StreamResult, error) {
+// RunSetStreamVia runs every combo point of an approach through
+// runner, returning one StreamResult per combo in combo order. All
+// points are in flight at once — bounding actual concurrency is the
+// runner's job (backend.Local shares one replication budget across
+// points; backend.Remote shards whole points across worker daemons).
+func RunSetStreamVia(ctx context.Context, runner PointRunner, approach string, combos []Combo, base Config) ([]*StreamResult, error) {
 	cfgs := ComboConfigs(approach, combos, base)
-
-	type task struct{ combo, run int }
-	var tasks []task
-	reps := make([][]Replication, len(cfgs))
-	aggs := make([][]*metrics.Aggregate, len(cfgs))
-	for c, cfg := range cfgs {
-		reps[c] = make([]Replication, cfg.Runs)
-		aggs[c] = make([]*metrics.Aggregate, cfg.Runs)
-		for r := 0; r < cfg.Runs; r++ {
-			tasks = append(tasks, task{combo: c, run: r})
-		}
-	}
-	err := parallel.ForEach(ctx, len(tasks), base.Parallelism, func(_ context.Context, i int) error {
-		t := tasks[i]
-		rep, agg, err := streamOne(cfgs[t.combo], t.run, StreamHooks{})
+	out := make([]*StreamResult, len(cfgs))
+	err := parallel.ForEach(ctx, len(cfgs), len(cfgs), func(ctx context.Context, c int) error {
+		res, err := runner.RunPoint(ctx, cfgs[c], StreamHooks{})
 		if err != nil {
 			return err
 		}
-		reps[t.combo][t.run], aggs[t.combo][t.run] = rep, agg
+		out[c] = res
 		return nil
 	})
 	if err != nil {
 		return nil, err
-	}
-	out := make([]*StreamResult, len(cfgs))
-	for c, cfg := range cfgs {
-		out[c] = newStreamResult(cfg, reps[c], aggs[c])
 	}
 	return out, nil
 }
 
+// RunSetStream is the streaming counterpart of RunSet: every (combo,
+// replication) pair of the sweep draws from one shared pool —
+// base.Parallelism bounds the total number of concurrent simulations,
+// exactly like the batch sweep — returning one StreamResult per combo,
+// in combo order.
+func RunSetStream(ctx context.Context, approach string, combos []Combo, base Config) ([]*StreamResult, error) {
+	lim := parallel.NewLimiter(base.Parallelism)
+	return RunSetStreamVia(ctx, localPoint{lim: lim}, approach, combos, base)
+}
+
 // Jobs returns the number of finished jobs over all replications.
-func (r *StreamResult) Jobs() int { return r.Agg.Jobs }
+func (r *StreamResult) Jobs() int {
+	if r.Agg == nil {
+		return r.summary.Jobs
+	}
+	return r.Agg.Jobs
+}
+
+// Malleable returns the number of malleable jobs over all replications.
+func (r *StreamResult) Malleable() int {
+	if r.Agg == nil {
+		return r.summary.Malleable
+	}
+	return r.Agg.Malleable
+}
 
 // Rejected returns the number of rejected jobs over all replications.
 func (r *StreamResult) Rejected() int {
@@ -224,10 +285,20 @@ func (r *StreamResult) TotalOps() float64 {
 }
 
 // MeanExecution returns the mean execution time over all jobs.
-func (r *StreamResult) MeanExecution() float64 { return r.Agg.MeanExecution() }
+func (r *StreamResult) MeanExecution() float64 {
+	if r.Agg == nil {
+		return r.summary.Exec.Mean
+	}
+	return r.Agg.MeanExecution()
+}
 
 // MeanResponse returns the mean response time over all jobs.
-func (r *StreamResult) MeanResponse() float64 { return r.Agg.MeanResponse() }
+func (r *StreamResult) MeanResponse() float64 {
+	if r.Agg == nil {
+		return r.summary.Response.Mean
+	}
+	return r.Agg.MeanResponse()
+}
 
 // StreamSummary is the JSON form of a finished streaming experiment:
 // koalad's terminal event, its GET /v1/experiments/{id} body, and the
@@ -253,8 +324,13 @@ type StreamSummary struct {
 	Replications []Replication `json:"replications"`
 }
 
-// Summary renders the result in its wire form.
+// Summary renders the result in its wire form. For a remotely
+// executed point the worker's summary is returned verbatim, so its
+// EncodeSummary bytes are exactly what the worker persisted.
 func (r *StreamResult) Summary() StreamSummary {
+	if r.summary != nil {
+		return *r.summary
+	}
 	return StreamSummary{
 		Name:            r.Config.Name,
 		Runs:            len(r.Replications),

@@ -89,3 +89,81 @@ func ForEach(ctx context.Context, n, workers int, fn func(ctx context.Context, i
 	}
 	return parent.Err()
 }
+
+// Limiter is a shared concurrency budget: a counting semaphore that
+// several ForEachShared pools draw task slots from, so one global bound
+// covers a whole sweep no matter how its points are grouped into pools.
+// The zero value is invalid; use NewLimiter.
+type Limiter chan struct{}
+
+// NewLimiter returns a budget of n concurrent tasks (n <= 0 means
+// DefaultWorkers).
+func NewLimiter(n int) Limiter {
+	if n <= 0 {
+		n = DefaultWorkers()
+	}
+	return make(Limiter, n)
+}
+
+// ForEachShared is ForEach with the worker bound replaced by lim: fn
+// runs only while holding one of lim's slots, so concurrent
+// ForEachShared calls over the same limiter never execute more than
+// cap(lim) tasks at once between them. Error and cancellation semantics
+// match ForEach: the first failing task cancels the pool and its error
+// (lowest index) is returned; a parent cancellation that cut the pool
+// short returns the parent's error.
+func ForEachShared(ctx context.Context, n int, lim Limiter, fn func(ctx context.Context, i int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	workers := cap(lim)
+	if workers > n {
+		workers = n
+	}
+
+	parent := ctx
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	errs := make([]error, n)
+	var next, done atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || ctx.Err() != nil {
+					return
+				}
+				// Tasks not yet holding a slot stop silently on
+				// cancellation; whoever canceled owns the error.
+				select {
+				case lim <- struct{}{}:
+				case <-ctx.Done():
+					return
+				}
+				err := fn(ctx, i)
+				<-lim
+				if err != nil {
+					errs[i] = err
+					cancel()
+				} else {
+					done.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	if int(done.Load()) == n {
+		return nil
+	}
+	return parent.Err()
+}

@@ -115,3 +115,84 @@ func TestForEachHonorsParentCancellation(t *testing.T) {
 		t.Fatalf("ran %d tasks under a canceled context", calls)
 	}
 }
+
+// TestForEachSharedBoundsAcrossPools is the limiter's contract: two
+// pools drawing from one budget never exceed it combined, and every
+// index of both pools still runs into its own slot.
+func TestForEachSharedBoundsAcrossPools(t *testing.T) {
+	lim := NewLimiter(2)
+	var inFlight, peak atomic.Int64
+	body := func(out []int) func(context.Context, int) error {
+		return func(_ context.Context, i int) error {
+			cur := inFlight.Add(1)
+			for {
+				p := peak.Load()
+				if cur <= p || peak.CompareAndSwap(p, cur) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			inFlight.Add(-1)
+			out[i] = i + 1
+			return nil
+		}
+	}
+	a := make([]int, 20)
+	b := make([]int, 20)
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	wg.Add(2)
+	go func() { defer wg.Done(); errs[0] = ForEachShared(context.Background(), len(a), lim, body(a)) }()
+	go func() { defer wg.Done(); errs[1] = ForEachShared(context.Background(), len(b), lim, body(b)) }()
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("pool %d: %v", i, err)
+		}
+	}
+	if p := peak.Load(); p > 2 {
+		t.Fatalf("peak concurrency %d exceeded the shared budget 2", p)
+	}
+	for i := range a {
+		if a[i] != i+1 || b[i] != i+1 {
+			t.Fatalf("slot %d = %d/%d", i, a[i], b[i])
+		}
+	}
+}
+
+// TestForEachSharedPropagatesErrors mirrors the ForEach semantics: the
+// first error cancels dispatch and wins even when later-queued tasks
+// are still blocked acquiring a slot, and a pre-canceled parent runs
+// nothing.
+func TestForEachSharedPropagatesErrors(t *testing.T) {
+	lim := NewLimiter(1)
+	boom := errors.New("boom")
+	ran := 0
+	err := ForEachShared(context.Background(), 10, lim, func(_ context.Context, i int) error {
+		ran++
+		if i == 2 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if ran > 3 {
+		t.Fatalf("ran %d tasks after the failure", ran)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	calls := 0
+	err = ForEachShared(ctx, 4, lim, func(context.Context, int) error {
+		calls++
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if calls != 0 {
+		t.Fatalf("ran %d tasks under a canceled context", calls)
+	}
+}

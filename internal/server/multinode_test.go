@@ -1,0 +1,277 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/backend"
+)
+
+// postExecute POSTs a config to the internal worker endpoint and
+// consumes the NDJSON response to its end.
+func postExecute(t *testing.T, ts *httptest.Server, body string) ([]map[string]any, int) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+backend.ExecutePath, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, resp.StatusCode
+	}
+	var events []map[string]any
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var ev map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		events = append(events, ev)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return events, resp.StatusCode
+}
+
+// TestExecuteEndpoint pins the worker half of multi-node koalad: one
+// POST submits and follows a run in a single NDJSON response, and an
+// identical re-POST answers from the cache without re-simulating.
+func TestExecuteEndpoint(t *testing.T) {
+	s, ts := newTestServer(t, Options{})
+
+	events, code := postExecute(t, ts, tinyConfig)
+	if code != http.StatusOK {
+		t.Fatalf("execute status = %d, want 200", code)
+	}
+	if len(events) < 4 || events[0]["type"] != "accepted" || events[len(events)-1]["type"] != "summary" {
+		t.Fatalf("execute events = %+v", events)
+	}
+	if s.workerExecutes.Load() != 1 || s.workerDeduped.Load() != 0 {
+		t.Fatalf("worker counters = %d/%d, want 1/0", s.workerExecutes.Load(), s.workerDeduped.Load())
+	}
+
+	// Dedupe: the same fingerprint answers terminally, zero simulation.
+	repsBefore := s.repsDone.Load()
+	events2, code2 := postExecute(t, ts, tinyConfig)
+	if code2 != http.StatusOK {
+		t.Fatalf("re-execute status = %d", code2)
+	}
+	if events2[len(events2)-1]["type"] != "summary" {
+		t.Fatalf("re-execute terminal event = %v", events2[len(events2)-1])
+	}
+	if s.repsDone.Load() != repsBefore {
+		t.Fatal("deduped execute re-simulated replications")
+	}
+	if s.registry.Len() != 1 {
+		t.Fatalf("registry = %d runs, want 1", s.registry.Len())
+	}
+	if s.workerDeduped.Load() != 1 {
+		t.Fatalf("dedup counter = %d, want 1", s.workerDeduped.Load())
+	}
+	text := string(mustGet(t, ts, "/metrics"))
+	for _, want := range []string{
+		"koalad_worker_executes_total 2",
+		"koalad_worker_dedup_total 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+	// Bad specs are a 400, like the public submit endpoint.
+	if _, code := postExecute(t, ts, `{"workload":{"preset":"NOPE"}}`); code != http.StatusBadRequest {
+		t.Fatalf("bad execute spec status = %d, want 400", code)
+	}
+}
+
+// TestDispatcherRoutesToWorker wires a coordinator daemon to a worker
+// daemon over real HTTP and pins the whole multi-node path: the run is
+// admitted by the coordinator, simulated by the worker, streamed back
+// through the coordinator's event log, and its summary is byte-for-byte
+// what a single-node daemon produces for the same config.
+func TestDispatcherRoutesToWorker(t *testing.T) {
+	worker, workerTS := newTestServer(t, Options{Role: "worker"})
+	rb, err := backend.NewRemote(backend.RemoteOptions{Workers: []string{workerTS.URL}, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord, coordTS := newTestServer(t, Options{Backend: rb, Role: "coordinator"})
+	single, singleTS := newTestServer(t, Options{})
+
+	sr, code := postConfig(t, coordTS, tinyConfig)
+	if code != http.StatusAccepted {
+		t.Fatalf("coordinator POST status = %d", code)
+	}
+	events := readEvents(t, coordTS, sr.ID)
+	if events[len(events)-1]["type"] != "summary" {
+		t.Fatalf("coordinator terminal event = %v", events[len(events)-1])
+	}
+	reps := 0
+	for _, ev := range events {
+		if ev["type"] == "replication" {
+			reps++
+		}
+	}
+	if reps != 2 {
+		t.Fatalf("coordinator streamed %d replication events, want 2", reps)
+	}
+	// The worker simulated (its execute endpoint admitted the run);
+	// the coordinator only relayed progress — its repsDone counts the
+	// replication events streamed back, and the dispatch counters
+	// prove where the work ran.
+	if worker.repsDone.Load() != 2 || worker.workerExecutes.Load() != 1 {
+		t.Fatalf("worker repsDone/executes = %d/%d, want 2/1",
+			worker.repsDone.Load(), worker.workerExecutes.Load())
+	}
+	if coord.repsDone.Load() != 2 || coord.workerExecutes.Load() != 0 {
+		t.Fatalf("coordinator repsDone/executes = %d/%d, want 2/0 (streamed, not simulated)",
+			coord.repsDone.Load(), coord.workerExecutes.Load())
+	}
+	if st := rb.Stats(); st.Dispatched != 1 || st.RemoteDone != 1 || st.Failovers != 0 {
+		t.Fatalf("dispatch stats = %+v", st)
+	}
+
+	// Byte-for-byte: the coordinator's summary equals the single-node
+	// daemon's for the identical config.
+	sr2, _ := postConfig(t, singleTS, tinyConfig)
+	readEvents(t, singleTS, sr2.ID)
+	_ = single
+	type wire struct {
+		Summary json.RawMessage `json:"summary"`
+	}
+	var cw, sw wire
+	if err := json.Unmarshal(mustGet(t, coordTS, "/v1/experiments/"+sr.ID), &cw); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(mustGet(t, singleTS, "/v1/experiments/"+sr2.ID), &sw); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(cw.Summary, sw.Summary) {
+		t.Fatalf("dispatched summary diverges from single-node:\ncoord:  %s\nsingle: %s", cw.Summary, sw.Summary)
+	}
+
+	// Coordinator metrics expose the dispatch counters.
+	text := string(mustGet(t, coordTS, "/metrics"))
+	for _, want := range []string{
+		"koalad_dispatch_workers 1",
+		"koalad_dispatch_remote_total 1",
+		"koalad_dispatch_remote_done_total 1",
+		"koalad_dispatch_failover_total 0",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("coordinator metrics missing %q", want)
+		}
+	}
+	// And /healthz reports role and backend.
+	var hz healthzResponse
+	if err := json.Unmarshal(mustGet(t, coordTS, "/healthz"), &hz); err != nil {
+		t.Fatal(err)
+	}
+	if hz.Role != "coordinator" || hz.Backend != "remote" {
+		t.Fatalf("coordinator healthz = %+v", hz)
+	}
+}
+
+// TestDispatcherFailsOverToLocal: a coordinator whose only worker is
+// unreachable still completes the run locally, byte-identical to a
+// single-node daemon, and counts the failover.
+func TestDispatcherFailsOverToLocal(t *testing.T) {
+	rb, err := backend.NewRemote(backend.RemoteOptions{Workers: []string{"http://127.0.0.1:1"}, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord, coordTS := newTestServer(t, Options{Backend: rb})
+	_, singleTS := newTestServer(t, Options{})
+
+	sr, code := postConfig(t, coordTS, tinyConfig)
+	if code != http.StatusAccepted {
+		t.Fatalf("POST status = %d", code)
+	}
+	events := readEvents(t, coordTS, sr.ID)
+	if events[len(events)-1]["type"] != "summary" {
+		t.Fatalf("terminal event = %v", events[len(events)-1])
+	}
+	if st := rb.Stats(); st.Failovers != 1 {
+		t.Fatalf("dispatch stats = %+v", st)
+	}
+	if coord.repsDone.Load() != 2 {
+		t.Fatalf("coordinator repsDone = %d, want 2 after failover", coord.repsDone.Load())
+	}
+
+	sr2, _ := postConfig(t, singleTS, tinyConfig)
+	readEvents(t, singleTS, sr2.ID)
+	type wire struct {
+		Summary json.RawMessage `json:"summary"`
+	}
+	var cw, sw wire
+	if err := json.Unmarshal(mustGet(t, coordTS, "/v1/experiments/"+sr.ID), &cw); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(mustGet(t, singleTS, "/v1/experiments/"+sr2.ID), &sw); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(cw.Summary, sw.Summary) {
+		t.Fatalf("failover summary diverges from single-node:\ncoord:  %s\nsingle: %s", cw.Summary, sw.Summary)
+	}
+}
+
+// TestSelfDispatchFailsOverInsteadOfDeadlocking pins the nastiest
+// mis-wiring: a coordinator whose -workers list routes back to itself.
+// The self-addressed execute request must be bounced (503), not
+// coalesced onto the very run whose dispatch issued it — coalescing
+// would wait for a terminal event that only this response could
+// produce. The run then completes via local failover, byte-identical.
+func TestSelfDispatchFailsOverInsteadOfDeadlocking(t *testing.T) {
+	s, ts := newTestServer(t, Options{})
+	rb, err := backend.NewRemote(backend.RemoteOptions{Workers: []string{ts.URL}, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.backend = rb // the daemon dispatches to itself
+
+	sr, code := postConfig(t, ts, tinyConfig)
+	if code != http.StatusAccepted {
+		t.Fatalf("POST status = %d", code)
+	}
+	events := readEvents(t, ts, sr.ID)
+	if events[len(events)-1]["type"] != "summary" {
+		t.Fatalf("terminal event = %v", events[len(events)-1])
+	}
+	if st := rb.Stats(); st.Failovers != 1 || st.RemoteDone != 0 {
+		t.Fatalf("self-dispatch stats = %+v, want one failover", st)
+	}
+	if s.workerExecutes.Load() != 0 {
+		t.Fatalf("self-dispatched execute was served (%d), want bounced", s.workerExecutes.Load())
+	}
+}
+
+// TestExecuteNeverReforwards pins the loop guard: runs admitted via
+// the execute endpoint run on the in-process backend even when the
+// daemon is (mis)configured with a remote backend, so a cycle of
+// coordinators cannot bounce a run around forever.
+func TestExecuteNeverReforwards(t *testing.T) {
+	rb, err := backend.NewRemote(backend.RemoteOptions{Workers: []string{"http://127.0.0.1:1"}, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, ts := newTestServer(t, Options{Backend: rb})
+	events, code := postExecute(t, ts, tinyConfig)
+	if code != http.StatusOK {
+		t.Fatalf("execute status = %d", code)
+	}
+	if events[len(events)-1]["type"] != "summary" {
+		t.Fatalf("terminal event = %v", events[len(events)-1])
+	}
+	if st := rb.Stats(); st.Dispatched != 0 {
+		t.Fatalf("execute-admitted run was re-forwarded: %+v", st)
+	}
+	if s.repsDone.Load() != 2 {
+		t.Fatalf("repsDone = %d, want 2 (simulated in-process)", s.repsDone.Load())
+	}
+}

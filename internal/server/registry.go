@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/experiment"
 )
@@ -47,6 +48,12 @@ type Run struct {
 	// a store is attached: journal compaction rewrites the submitted
 	// records of in-flight runs from it.
 	specJSON json.RawMessage
+	// localOnly pins the run's execution to the in-process backend.
+	// Set (before execution starts) on runs admitted through the
+	// worker execute endpoint: a worker must never re-forward work to
+	// other workers, or a mis-wired topology would bounce runs
+	// around forever.
+	localOnly bool
 
 	mu      sync.Mutex
 	status  Status
@@ -54,17 +61,25 @@ type Run struct {
 	changed chan struct{} // closed and replaced on every append
 	summary *experiment.StreamSummary
 	errMsg  string
+
+	// Lifecycle timestamps (wall clock, observability only — they are
+	// deliberately absent from the event log and the durable store, so
+	// results stay byte-identical across backends and restarts).
+	submittedAt time.Time
+	startedAt   time.Time
+	finishedAt  time.Time
 }
 
 func newRun(id, hash string, cfg experiment.Config, source string) *Run {
 	return &Run{
-		ID:      id,
-		Hash:    hash,
-		Name:    cfg.Name,
-		Source:  source,
-		cfg:     cfg,
-		status:  StatusQueued,
-		changed: make(chan struct{}),
+		ID:          id,
+		Hash:        hash,
+		Name:        cfg.Name,
+		Source:      source,
+		cfg:         cfg,
+		status:      StatusQueued,
+		changed:     make(chan struct{}),
+		submittedAt: time.Now(),
 	}
 }
 
@@ -95,12 +110,16 @@ func (r *Run) setStatus(s Status) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.status = s
+	if s == StatusRunning && r.startedAt.IsZero() {
+		r.startedAt = time.Now()
+	}
 }
 
 // finish records the summary and appends the terminal summary event.
 func (r *Run) finish(sum experiment.StreamSummary) {
 	r.mu.Lock()
 	r.summary = &sum
+	r.finishedAt = time.Now()
 	r.mu.Unlock()
 	r.append(summaryEvent{Type: "summary", ID: r.ID, Summary: sum}, StatusDone)
 }
@@ -120,8 +139,44 @@ func (r *Run) restoreDone(sum experiment.StreamSummary) {
 func (r *Run) fail(msg string) {
 	r.mu.Lock()
 	r.errMsg = msg
+	r.finishedAt = time.Now()
 	r.mu.Unlock()
 	r.append(errorEvent{Type: "error", ID: r.ID, Error: msg}, StatusFailed)
+}
+
+// runTimings is the GET /v1/experiments/{id} timing block: lifecycle
+// timestamps plus the derived queue and run durations.
+type runTimings struct {
+	SubmittedAt   time.Time  `json:"submitted_at"`
+	StartedAt     *time.Time `json:"started_at,omitempty"`
+	FinishedAt    *time.Time `json:"finished_at,omitempty"`
+	QueuedSeconds float64    `json:"queued_seconds,omitempty"`
+	RunSeconds    float64    `json:"run_seconds,omitempty"`
+}
+
+// Timings reports the run's lifecycle timestamps, or nil for results
+// restored from the on-disk store (their original timings died with
+// the process that simulated them).
+func (r *Run) Timings() *runTimings {
+	if r.Source == SourceStore {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t := &runTimings{SubmittedAt: r.submittedAt}
+	if !r.startedAt.IsZero() {
+		started := r.startedAt
+		t.StartedAt = &started
+		t.QueuedSeconds = started.Sub(r.submittedAt).Seconds()
+	}
+	if !r.finishedAt.IsZero() {
+		finished := r.finishedAt
+		t.FinishedAt = &finished
+		if !r.startedAt.IsZero() {
+			t.RunSeconds = finished.Sub(r.startedAt).Seconds()
+		}
+	}
+	return t
 }
 
 // Status returns the current lifecycle state.

@@ -13,6 +13,7 @@ package server
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"net/http/pprof"
@@ -21,6 +22,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/backend"
 	"repro/internal/experiment"
 	"repro/internal/parallel"
 	"repro/internal/store"
@@ -56,6 +58,15 @@ type Options struct {
 	// just the in-flight runs' records) once the journal holds at least
 	// this many records (default 256).
 	JournalCompactEvery int
+	// Backend executes admitted runs: nil means in-process
+	// (backend.Local); a backend.Remote turns this daemon into a
+	// coordinator that shards runs across worker daemons. Runs
+	// admitted through the worker execute endpoint always run
+	// in-process regardless.
+	Backend backend.Backend
+	// Role labels the daemon's place in a multi-node topology
+	// ("coordinator", "worker"); reported on /healthz.
+	Role string
 	// Logf receives one line per lifecycle transition (optional).
 	Logf func(format string, args ...any)
 }
@@ -86,8 +97,16 @@ type Server struct {
 	cache    *Cache
 	store    *store.Store // nil = in-memory only
 
+	// backend executes admitted runs; local is the in-process backend
+	// that worker-endpoint runs (and Remote failovers) use.
+	backend backend.Backend
+	local   backend.Backend
+
 	sem    chan struct{} // run slots
 	queued atomic.Int64  // admitted, waiting for a slot
+
+	workerExecutes atomic.Int64 // runs admitted via the execute endpoint
+	workerDeduped  atomic.Int64 // execute requests answered without simulating
 
 	activeRuns atomic.Int64
 	activeSims atomic.Int64 // replications currently simulating
@@ -121,16 +140,22 @@ type Server struct {
 func New(opts Options) *Server {
 	opts = opts.withDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
-	return &Server{
+	s := &Server{
 		opts:     opts,
 		registry: NewRegistry(),
 		cache:    NewCache(),
 		store:    opts.Store,
+		local:    backend.Local{},
 		sem:      make(chan struct{}, opts.MaxConcurrent),
 		ctx:      ctx,
 		cancel:   cancel,
 		started:  time.Now(),
 	}
+	s.backend = opts.Backend
+	if s.backend == nil {
+		s.backend = s.local
+	}
+	return s
 }
 
 // Cache exposes the result cache (tests and metrics).
@@ -140,6 +165,7 @@ func (s *Server) Cache() *Cache { return s.cache }
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/experiments", s.handleSubmit)
+	mux.HandleFunc("POST "+backend.ExecutePath, s.handleExecute)
 	mux.HandleFunc("GET /v1/experiments", s.handleList)
 	mux.HandleFunc("GET /v1/experiments/{id}", s.handleGet)
 	mux.HandleFunc("GET /v1/experiments/{id}/events", s.handleEvents)
@@ -202,51 +228,61 @@ func runURLs(id string) (string, string) {
 	return u, u + "/events"
 }
 
-func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
-	if s.closed.Load() {
-		writeError(w, http.StatusServiceUnavailable, "server is draining")
-		return
-	}
+// Admission sentinels, mapped to HTTP statuses by the handlers.
+var (
+	errDraining  = errors.New("server is draining")
+	errQueueFull = errors.New("run queue is full")
+)
+
+// decodeSubmission parses and validates a submitted ConfigSpec and
+// resolves its fingerprint, writing the error response itself on
+// failure (ok=false).
+func (s *Server) decodeSubmission(w http.ResponseWriter, r *http.Request) (spec *experiment.ConfigSpec, cfg experiment.Config, hash string, ok bool) {
 	spec, err := experiment.DecodeConfigSpec(http.MaxBytesReader(w, r.Body, 1<<20))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
-		return
+		return nil, experiment.Config{}, "", false
 	}
-	cfg, err := spec.Config()
+	cfg, err = spec.Config()
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
-		return
+		return nil, experiment.Config{}, "", false
 	}
 	if spec.Parallelism == 0 {
 		cfg.Parallelism = s.opts.Parallelism
 	}
-	hash, err := experiment.Fingerprint(cfg)
+	hash, err = experiment.Fingerprint(cfg)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err.Error())
-		return
+		return nil, experiment.Config{}, "", false
 	}
+	return spec, cfg, hash, true
+}
 
+// admit resolves (cfg, hash) to the run that serves it: an existing
+// cached run (done, or in-flight to coalesce onto), a result adopted
+// from the on-disk store, or — created=true — a freshly admitted run
+// whose execution has been spawned. status is the run's state as
+// classified under the admission lock (counters and the HTTP response
+// must agree, even if the run finishes in between). localOnly pins a
+// freshly admitted run to the in-process backend (the worker execute
+// path must never re-forward).
+func (s *Server) admit(spec *experiment.ConfigSpec, cfg experiment.Config, hash string, localOnly bool) (run *Run, status Status, created bool, err error) {
 	s.admitMu.Lock()
 	if existing := s.cache.Lookup(hash); existing != nil {
 		status := existing.Status()
 		s.admitMu.Unlock()
-		url, events := runURLs(existing.ID)
-		resp := submitResponse{ID: existing.ID, Hash: hash, Status: status, URL: url, EventsURL: events}
 		if status == StatusDone {
 			s.cache.countHit()
 			if existing.Source == SourceStore {
 				s.storeHits.Add(1)
 			}
-			resp.Cached = true
 			s.opts.Logf("koalad: %s cache hit (%s)", existing.ID, hash[:12])
-			writeJSON(w, http.StatusOK, resp)
 		} else {
 			s.cache.countCoalesce()
-			resp.Coalesced = true
 			s.opts.Logf("koalad: %s coalesced identical submission (%s)", existing.ID, hash[:12])
-			writeJSON(w, http.StatusAccepted, resp)
 		}
-		return
+		return existing, status, false, nil
 	}
 	// Memory missed; the on-disk store may still hold the result (a
 	// retention-evicted run, or one never loaded at recovery). Adopting
@@ -259,27 +295,21 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			s.admitMu.Unlock()
 			s.cache.countHit()
 			s.storeHits.Add(1)
-			url, events := runURLs(run.ID)
 			s.opts.Logf("koalad: %s store hit (%s)", run.ID, hash[:12])
-			writeJSON(w, http.StatusOK, submitResponse{
-				ID: run.ID, Hash: hash, Status: StatusDone, Cached: true, URL: url, EventsURL: events,
-			})
-			return
+			return run, StatusDone, false, nil
 		}
 	}
-	// Re-check closed under the lock: the early check is a fast path,
-	// this one is authoritative against a concurrent Shutdown (which
-	// flips the flag under the same lock before draining).
+	// Re-check closed under the lock: the handlers' early check is a
+	// fast path, this one is authoritative against a concurrent
+	// Shutdown (which flips the flag under the same lock before
+	// draining).
 	if s.closed.Load() {
 		s.admitMu.Unlock()
-		writeError(w, http.StatusServiceUnavailable, "server is draining")
-		return
+		return nil, "", false, errDraining
 	}
 	if s.queued.Load() >= int64(s.opts.QueueDepth) {
 		s.admitMu.Unlock()
-		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusTooManyRequests, "run queue is full")
-		return
+		return nil, "", false, errQueueFull
 	}
 	// Only the admission path needs the wire-form spec (for the journal
 	// and its compaction); hits and coalesces never marshal it.
@@ -287,13 +317,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if s.store != nil {
 		if specJSON, err = json.Marshal(spec); err != nil {
 			s.admitMu.Unlock()
-			writeError(w, http.StatusInternalServerError, err.Error())
-			return
+			return nil, "", false, err
 		}
 		s.storeMisses.Add(1)
 	}
 	s.cache.countMiss()
-	run := s.registry.Create(hash, cfg, specJSON)
+	run = s.registry.Create(hash, cfg, specJSON)
+	run.localOnly = localOnly // before execution starts; only execute reads it
 	s.cache.Store(run)
 	s.queued.Add(1)
 	s.wg.Add(1) // inside the lock, so Shutdown's Wait covers this run
@@ -305,11 +335,91 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	run.append(acceptedEvent{Type: "accepted", ID: run.ID, Name: run.Name, Hash: hash, Runs: cfg.Runs}, "")
 	s.opts.Logf("koalad: %s accepted %s (%d runs, hash %s)", run.ID, run.Name, cfg.Runs, hash[:12])
 	go s.execute(run)
+	return run, run.Status(), true, nil
+}
 
+// writeAdmitError maps an admission failure onto its HTTP response.
+func writeAdmitError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, errDraining):
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+	case errors.Is(err, errQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, err.Error())
+	default:
+		writeError(w, http.StatusInternalServerError, err.Error())
+	}
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.closed.Load() {
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	spec, cfg, hash, ok := s.decodeSubmission(w, r)
+	if !ok {
+		return
+	}
+	run, status, created, err := s.admit(spec, cfg, hash, false)
+	if err != nil {
+		writeAdmitError(w, err)
+		return
+	}
 	url, events := runURLs(run.ID)
-	writeJSON(w, http.StatusAccepted, submitResponse{
-		ID: run.ID, Hash: hash, Status: run.Status(), URL: url, EventsURL: events,
-	})
+	resp := submitResponse{ID: run.ID, Hash: hash, Status: status, URL: url, EventsURL: events}
+	switch {
+	case created:
+		writeJSON(w, http.StatusAccepted, resp)
+	case status == StatusDone:
+		resp.Cached = true
+		writeJSON(w, http.StatusOK, resp)
+	default:
+		resp.Coalesced = true
+		writeJSON(w, http.StatusAccepted, resp)
+	}
+}
+
+// handleExecute is the internal worker endpoint behind backend.Remote:
+// one POST both submits a config and follows it — the run's NDJSON
+// event log streams back in the response, ending with the terminal
+// summary (or error) event. A config whose result this daemon already
+// holds — in memory or in its content-addressed store — answers
+// without simulating: the dedupe that lets workers share work by
+// fingerprint. Runs admitted here always execute on the in-process
+// backend, so a mis-wired worker can never re-forward.
+func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
+	if s.closed.Load() {
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	spec, cfg, hash, ok := s.decodeSubmission(w, r)
+	if !ok {
+		return
+	}
+	run, status, created, err := s.admit(spec, cfg, hash, true)
+	if err != nil {
+		// 503/429 here bounce the shard back to the coordinator, which
+		// fails it over to its own local backend.
+		writeAdmitError(w, err)
+		return
+	}
+	if !created && status != StatusDone && !run.localOnly {
+		// The fingerprint is already in flight on this daemon's
+		// *dispatch* backend — which may be the very dispatch that
+		// issued this request (a coordinator whose -workers list routes
+		// back to itself). Following that run here would deadlock: its
+		// terminal event arrives only when this response produces one.
+		// Bounce instead; the caller fails over to its local backend
+		// and the result stays byte-identical.
+		writeError(w, http.StatusServiceUnavailable, "config is in flight on this daemon's dispatch backend")
+		return
+	}
+	s.workerExecutes.Add(1)
+	if !created && status == StatusDone {
+		s.workerDeduped.Add(1)
+		s.opts.Logf("koalad: %s deduped execute request (%s)", run.ID, hash[:12])
+	}
+	s.streamRun(w, r, run)
 }
 
 // retire records a terminal run and enforces the retention bound:
@@ -385,7 +495,15 @@ func (s *Server) execute(run *Run) {
 			run.append(repEvent{Type: "replication", ID: run.ID, Replication: rep}, "")
 		},
 	}
-	res, err := experiment.RunStreamContext(s.ctx, run.cfg, hooks)
+	// The dispatcher seam: queued runs flow to the configured backend
+	// (in-process pool, or sharded out to worker daemons), except runs
+	// admitted through the worker execute endpoint, which are pinned
+	// local so workers never re-forward.
+	b := s.backend
+	if run.localOnly {
+		b = s.local
+	}
+	res, err := b.RunPoint(s.ctx, run.cfg, hooks)
 	// Replications aborted mid-flight never reach OnDone; return their
 	// gauge contribution.
 	s.activeSims.Add(finished.Load() - started.Load())
@@ -446,13 +564,19 @@ func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, listResponse{Experiments: items})
 }
 
-// getResponse is the GET /v1/experiments/{id} body.
+// getResponse is the GET /v1/experiments/{id} body: identity, state,
+// provenance (live vs store-restored), lifecycle timings and — when
+// done — the summary. The summary and hash are deterministic; source
+// and timings are observability and are excluded from byte-level
+// comparisons across restarts.
 type getResponse struct {
 	ID        string                    `json:"id"`
 	Name      string                    `json:"name"`
 	Hash      string                    `json:"hash"`
 	Status    Status                    `json:"status"`
+	Source    string                    `json:"source"`
 	EventsURL string                    `json:"events_url"`
+	Timings   *runTimings               `json:"timings,omitempty"`
 	Error     string                    `json:"error,omitempty"`
 	Summary   *experiment.StreamSummary `json:"summary,omitempty"`
 }
@@ -466,8 +590,8 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 	status, summary, errMsg := run.Snapshot()
 	_, events := runURLs(run.ID)
 	writeJSON(w, http.StatusOK, getResponse{
-		ID: run.ID, Name: run.Name, Hash: run.Hash, Status: status,
-		EventsURL: events, Error: errMsg, Summary: summary,
+		ID: run.ID, Name: run.Name, Hash: run.Hash, Status: status, Source: run.Source,
+		EventsURL: events, Timings: run.Timings(), Error: errMsg, Summary: summary,
 	})
 }
 
@@ -479,6 +603,13 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "no such experiment")
 		return
 	}
+	s.streamRun(w, r, run)
+}
+
+// streamRun writes a run's event log as NDJSON — replay, then follow
+// until the terminal event — shared by the public events endpoint and
+// the worker execute endpoint.
+func (s *Server) streamRun(w http.ResponseWriter, r *http.Request, run *Run) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.Header().Set("Cache-Control", "no-store")
 	w.WriteHeader(http.StatusOK)
@@ -517,6 +648,8 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 type healthzResponse struct {
 	Status        string  `json:"status"`
 	Version       string  `json:"version"`
+	Role          string  `json:"role,omitempty"`
+	Backend       string  `json:"backend"`
 	UptimeSeconds float64 `json:"uptime_seconds"`
 	ActiveRuns    int64   `json:"active_runs"`
 	QueuedRuns    int64   `json:"queued_runs"`
@@ -532,6 +665,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, healthzResponse{
 		Status:        status,
 		Version:       s.opts.Version,
+		Role:          s.opts.Role,
+		Backend:       s.backend.Name(),
 		UptimeSeconds: time.Since(s.started).Seconds(),
 		ActiveRuns:    s.activeRuns.Load(),
 		QueuedRuns:    s.queued.Load(),
@@ -563,6 +698,17 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		{"koalad_cache_coalesced_total", "Submissions attached to an in-flight identical run.", "counter", s.cache.Coalesced()},
 		{"koalad_cache_misses_total", "Submissions that started a new run.", "counter", s.cache.Misses()},
 		{"koalad_cache_hit_rate", "hits / (hits + misses).", "gauge", s.cache.HitRate()},
+		{"koalad_worker_executes_total", "Runs served over the internal worker execute endpoint.", "counter", s.workerExecutes.Load()},
+		{"koalad_worker_dedup_total", "Execute requests answered from cache/store without simulating.", "counter", s.workerDeduped.Load()},
+	}
+	if rb, ok := s.backend.(*backend.Remote); ok {
+		st := rb.Stats()
+		metrics = append(metrics,
+			metric{"koalad_dispatch_workers", "Worker daemons configured for dispatch.", "gauge", st.Workers},
+			metric{"koalad_dispatch_remote_total", "Runs dispatched to a worker daemon.", "counter", st.Dispatched},
+			metric{"koalad_dispatch_remote_done_total", "Runs completed by a worker daemon.", "counter", st.RemoteDone},
+			metric{"koalad_dispatch_failover_total", "Runs failed over to the local backend.", "counter", st.Failovers},
+		)
 	}
 	if s.store != nil {
 		st := s.store.Stats()

@@ -270,10 +270,49 @@ func TestUnknownRun(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		// 404s carry a JSON error object, never an empty body.
+		if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+			t.Errorf("GET %s content-type = %q, want application/json", path, ct)
+		}
+		var body struct {
+			Error string `json:"error"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Errorf("GET %s body not JSON: %v", path, err)
+		} else if body.Error == "" {
+			t.Errorf("GET %s error body empty", path)
+		}
 		resp.Body.Close()
 		if resp.StatusCode != http.StatusNotFound {
 			t.Errorf("GET %s = %d, want 404", path, resp.StatusCode)
 		}
+	}
+}
+
+// TestGetDetailTimingsAndSource pins the detail endpoint's
+// observability block: provenance plus lifecycle timings for runs
+// simulated in this process.
+func TestGetDetailTimingsAndSource(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	sr, _ := postConfig(t, ts, tinyConfig)
+	readEvents(t, ts, sr.ID)
+
+	var got getResponse
+	if err := json.Unmarshal(mustGet(t, ts, "/v1/experiments/"+sr.ID), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Status != StatusDone || got.Source != SourceLive {
+		t.Fatalf("detail = status %s source %s, want done/live", got.Status, got.Source)
+	}
+	tm := got.Timings
+	if tm == nil || tm.SubmittedAt.IsZero() || tm.StartedAt == nil || tm.FinishedAt == nil {
+		t.Fatalf("timings = %+v, want submitted/started/finished", tm)
+	}
+	if tm.StartedAt.Before(tm.SubmittedAt) || tm.FinishedAt.Before(*tm.StartedAt) {
+		t.Fatalf("timings out of order: %+v", tm)
+	}
+	if tm.RunSeconds <= 0 {
+		t.Fatalf("run_seconds = %v, want > 0", tm.RunSeconds)
 	}
 }
 

@@ -1,0 +1,117 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Absolute slack under which a delta is noise, not a regression: tiny
+// benchmarks jitter by a few ns or a warmup allocation, and a pure
+// percentage gate would flake on them.
+const (
+	nsSlack     = 50.0 // ns/op
+	allocsSlack = 8.0  // allocs/op, steady-state runs
+	// A single cold iteration charges one-time warmup allocations
+	// (sync.Once, lazy tables, map growth) to the benchmark; in a full
+	// run they amortize to ~0. Smoke runs get a wider absolute slack
+	// so a zero-alloc hot path's warmup does not read as a regression.
+	coldAllocsSlack = 32.0
+)
+
+// allocSlack picks the allocs/op slack for a pair of measurements:
+// cold if either run made just one iteration.
+func allocSlack(oldR, newR Result) float64 {
+	if oldR.Iterations <= 1 || newR.Iterations <= 1 {
+		return coldAllocsSlack
+	}
+	return allocsSlack
+}
+
+// loadFile reads a BENCH_*.json produced by this tool.
+func loadFile(path string) (File, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return File{}, err
+	}
+	var f File
+	if err := json.Unmarshal(b, &f); err != nil {
+		return File{}, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(f.Benchmarks) == 0 {
+		return File{}, fmt.Errorf("%s: no benchmarks", path)
+	}
+	return f, nil
+}
+
+// regression is one metric of one benchmark exceeding the gate.
+type regression struct {
+	name, metric string
+	oldV, newV   float64
+	deltaPercent float64
+}
+
+// exceeds applies the gate: relative growth beyond threshold percent
+// AND absolute growth beyond slack.
+func exceeds(oldV, newV, threshold, slack float64) (float64, bool) {
+	if oldV <= 0 {
+		// A zero baseline has no meaningful relative delta; the
+		// absolute slack alone decides.
+		return 0, newV-oldV > slack
+	}
+	pct := (newV - oldV) / oldV * 100
+	return pct, pct > threshold && newV-oldV > slack
+}
+
+// compareFiles diffs new against old benchmark by benchmark, returning
+// a human report and the regressions that should fail the gate.
+// Benchmarks present on only one side are reported but never fail —
+// suites legitimately grow and shrink across PRs.
+func compareFiles(oldFile, newFile File, threshold float64) (report []string, regs []regression) {
+	names := make([]string, 0, len(oldFile.Benchmarks))
+	for name := range oldFile.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	for _, name := range names {
+		oldR := oldFile.Benchmarks[name]
+		newR, ok := newFile.Benchmarks[name]
+		if !ok {
+			report = append(report, fmt.Sprintf("  %-60s removed", name))
+			continue
+		}
+		// ns/op only means something when the run iterated: a
+		// -benchtime=1x smoke measures a single call, cold.
+		if oldR.NsPerOp > 0 && newR.NsPerOp > 0 && oldR.Iterations > 1 && newR.Iterations > 1 {
+			if pct, bad := exceeds(oldR.NsPerOp, newR.NsPerOp, threshold, nsSlack); bad {
+				regs = append(regs, regression{name, "ns/op", oldR.NsPerOp, newR.NsPerOp, pct})
+				report = append(report, fmt.Sprintf("REG %-60s ns/op     %12.1f -> %12.1f (%+.1f%%)",
+					name, oldR.NsPerOp, newR.NsPerOp, pct))
+			} else {
+				report = append(report, fmt.Sprintf("  %-60s ns/op     %12.1f -> %12.1f (%+.1f%%)",
+					name, oldR.NsPerOp, newR.NsPerOp, pct))
+			}
+		}
+		if pct, bad := exceeds(oldR.AllocsPerOp, newR.AllocsPerOp, threshold, allocSlack(oldR, newR)); bad {
+			regs = append(regs, regression{name, "allocs/op", oldR.AllocsPerOp, newR.AllocsPerOp, pct})
+			report = append(report, fmt.Sprintf("REG %-60s allocs/op %12.0f -> %12.0f (%+.1f%%)",
+				name, oldR.AllocsPerOp, newR.AllocsPerOp, pct))
+		} else if oldR.AllocsPerOp > 0 || newR.AllocsPerOp > 0 {
+			report = append(report, fmt.Sprintf("  %-60s allocs/op %12.0f -> %12.0f (%+.1f%%)",
+				name, oldR.AllocsPerOp, newR.AllocsPerOp, pct))
+		}
+	}
+	added := make([]string, 0)
+	for name := range newFile.Benchmarks {
+		if _, ok := oldFile.Benchmarks[name]; !ok {
+			added = append(added, name)
+		}
+	}
+	sort.Strings(added)
+	for _, name := range added {
+		report = append(report, fmt.Sprintf("  %-60s added", name))
+	}
+	return report, regs
+}

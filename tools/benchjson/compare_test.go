@@ -1,0 +1,108 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func bench(iters int64, ns, allocs float64) Result {
+	return Result{Iterations: iters, NsPerOp: ns, AllocsPerOp: allocs}
+}
+
+func file(benchmarks map[string]Result) File {
+	return File{GoVersion: "go-test", Benchmarks: benchmarks}
+}
+
+func TestCompareFlagsRegressions(t *testing.T) {
+	oldF := file(map[string]Result{
+		"BenchmarkHot":  bench(100, 10000, 1000),
+		"BenchmarkTiny": bench(100, 40, 2),
+		"BenchmarkGone": bench(100, 500, 50),
+	})
+	newF := file(map[string]Result{
+		"BenchmarkHot":  bench(100, 12000, 1200), // +20% on both, well past slack
+		"BenchmarkTiny": bench(100, 80, 6),       // +100%, but inside absolute slack
+		"BenchmarkNew":  bench(100, 1, 1),
+	})
+	report, regs := compareFiles(oldF, newF, 10)
+	if len(regs) != 2 {
+		t.Fatalf("regressions = %d (%+v), want ns/op + allocs/op of BenchmarkHot", len(regs), regs)
+	}
+	for _, r := range regs {
+		if r.name != "BenchmarkHot" {
+			t.Errorf("unexpected regression: %+v", r)
+		}
+	}
+	joined := strings.Join(report, "\n")
+	for _, want := range []string{"REG BenchmarkHot", "BenchmarkGone", "removed", "BenchmarkNew", "added"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("report missing %q:\n%s", want, joined)
+		}
+	}
+}
+
+func TestCompareWithinThresholdPasses(t *testing.T) {
+	oldF := file(map[string]Result{"BenchmarkHot": bench(100, 10000, 1000)})
+	newF := file(map[string]Result{"BenchmarkHot": bench(100, 10500, 1040)}) // +5%, +4%
+	if _, regs := compareFiles(oldF, newF, 10); len(regs) != 0 {
+		t.Fatalf("within-threshold diff flagged: %+v", regs)
+	}
+	// Improvements never fail, however large.
+	better := file(map[string]Result{"BenchmarkHot": bench(100, 2000, 100)})
+	if _, regs := compareFiles(oldF, better, 10); len(regs) != 0 {
+		t.Fatalf("improvement flagged: %+v", regs)
+	}
+}
+
+// TestCompareSkipsTimeOfSingleIterationRuns pins the smoke-run rule:
+// a -benchtime=1x run gates allocations only, because one cold
+// iteration is not a time measurement.
+func TestCompareSkipsTimeOfSingleIterationRuns(t *testing.T) {
+	oldF := file(map[string]Result{"BenchmarkHot": bench(100, 10000, 1000)})
+	newF := file(map[string]Result{"BenchmarkHot": bench(1, 900000, 1010)}) // 90x slower "time", 1 iteration
+	report, regs := compareFiles(oldF, newF, 10)
+	if len(regs) != 0 {
+		t.Fatalf("1x-iteration time flagged: %+v", regs)
+	}
+	if strings.Contains(strings.Join(report, "\n"), "ns/op") {
+		t.Fatalf("report compared ns/op of a 1-iteration run:\n%s", strings.Join(report, "\n"))
+	}
+	// Allocations of the same run still gate.
+	newF = file(map[string]Result{"BenchmarkHot": bench(1, 900000, 1500)})
+	if _, regs := compareFiles(oldF, newF, 10); len(regs) != 1 {
+		t.Fatalf("1x-iteration alloc regression missed: %+v", regs)
+	}
+}
+
+// TestCompareColdRunAllocSlack pins the warmup rule: one cold
+// iteration may charge a few dozen one-time allocations to a
+// zero-alloc benchmark without tripping the gate, but growth beyond
+// the cold slack still fails.
+func TestCompareColdRunAllocSlack(t *testing.T) {
+	oldF := file(map[string]Result{"BenchmarkZeroAlloc": bench(1000, 500, 0)})
+	warm := file(map[string]Result{"BenchmarkZeroAlloc": bench(1, 500, 16)})
+	if _, regs := compareFiles(oldF, warm, 10); len(regs) != 0 {
+		t.Fatalf("cold-run warmup allocations flagged: %+v", regs)
+	}
+	bad := file(map[string]Result{"BenchmarkZeroAlloc": bench(1, 500, 64)})
+	if _, regs := compareFiles(oldF, bad, 10); len(regs) != 1 {
+		t.Fatalf("cold-run real regression missed: %+v", regs)
+	}
+	// Steady-state runs keep the strict slack.
+	steady := file(map[string]Result{"BenchmarkZeroAlloc": bench(1000, 500, 16)})
+	if _, regs := compareFiles(oldF, steady, 10); len(regs) != 1 {
+		t.Fatalf("steady-state regression missed: %+v", regs)
+	}
+}
+
+func TestCompareZeroBaselineUsesAbsoluteSlack(t *testing.T) {
+	oldF := file(map[string]Result{"BenchmarkZero": bench(100, 100, 0)})
+	ok := file(map[string]Result{"BenchmarkZero": bench(100, 100, 4)})
+	if _, regs := compareFiles(oldF, ok, 10); len(regs) != 0 {
+		t.Fatalf("slack-sized growth over zero baseline flagged: %+v", regs)
+	}
+	bad := file(map[string]Result{"BenchmarkZero": bench(100, 100, 40)})
+	if _, regs := compareFiles(oldF, bad, 10); len(regs) != 1 {
+		t.Fatalf("real growth over zero baseline missed: %+v", regs)
+	}
+}

@@ -5,6 +5,18 @@
 // Usage:
 //
 //	go test -run=NONE -bench=. -benchmem ./... | go run ./tools/benchjson -o BENCH_PR3.json
+//
+// With -compare it becomes the regression gate the bench-smoke CI job
+// runs against the committed baseline:
+//
+//	go run ./tools/benchjson -compare BENCH_PR3.json BENCH_SMOKE.json -threshold 10
+//
+// A benchmark regresses when its new value exceeds the old by more than
+// -threshold percent AND by an absolute slack (50 ns/op, 8 allocs/op)
+// that keeps tiny benchmarks from flaking the gate. ns/op is compared
+// only when both runs used more than one iteration — a -benchtime=1x
+// smoke run measures allocations reliably but not time. Any regression
+// exits nonzero; added or removed benchmarks are reported but pass.
 package main
 
 import (
@@ -20,12 +32,12 @@ import (
 
 // Result is one benchmark's parsed measurement.
 type Result struct {
-	Package    string             `json:"package,omitempty"`
-	Iterations int64              `json:"iterations"`
-	NsPerOp    float64            `json:"ns_per_op,omitempty"`
-	BytesPerOp float64            `json:"bytes_per_op,omitempty"`
-	AllocsPerOp float64           `json:"allocs_per_op,omitempty"`
-	Metrics    map[string]float64 `json:"metrics,omitempty"`
+	Package     string             `json:"package,omitempty"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op,omitempty"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
 }
 
 // File is the BENCH_*.json schema.
@@ -38,7 +50,52 @@ type File struct {
 
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
+	compare := flag.Bool("compare", false, "diff mode: benchjson -compare old.json new.json; exits 1 on ns/op or allocs/op regressions")
+	threshold := flag.Float64("threshold", 10, "with -compare: regression threshold in percent")
 	flag.Parse()
+
+	if *compare {
+		args := flag.Args()
+		if len(args) < 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -compare needs two files: old.json new.json")
+			os.Exit(2)
+		}
+		oldPath, newPath := args[0], args[1]
+		// The documented form puts -threshold after the files
+		// (`-compare old.json new.json -threshold 10`), where the
+		// standard parser stops; pick up such trailing flags here.
+		trailing := flag.NewFlagSet("compare", flag.ExitOnError)
+		trailing.Float64Var(threshold, "threshold", *threshold, "regression threshold in percent")
+		if err := trailing.Parse(args[2:]); err != nil || trailing.NArg() != 0 {
+			fmt.Fprintln(os.Stderr, "benchjson: unexpected arguments after old.json new.json")
+			os.Exit(2)
+		}
+		if *threshold < 0 {
+			fmt.Fprintln(os.Stderr, "benchjson: -threshold must be >= 0")
+			os.Exit(2)
+		}
+		oldFile, err := loadFile(oldPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(2)
+		}
+		newFile, err := loadFile(newPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(2)
+		}
+		report, regs := compareFiles(oldFile, newFile, *threshold)
+		for _, line := range report {
+			fmt.Println(line)
+		}
+		if len(regs) > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: %d regression(s) beyond %.0f%% vs %s\n",
+				len(regs), *threshold, oldPath)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: no regressions beyond %.0f%% vs %s\n", *threshold, oldPath)
+		return
+	}
 
 	file := File{
 		GoVersion:  runtime.Version(),
