@@ -1,6 +1,7 @@
 GO ?= go
 
-.PHONY: build test bench bench-smoke bench-compare vet figures serve
+.PHONY: build test bench bench-smoke bench-compare vet figures serve \
+	lint koalalint staticcheck vuln lint-tools
 
 build:
 	$(GO) build ./...
@@ -11,12 +12,52 @@ vet:
 test: vet
 	$(GO) test -race ./...
 
+# --- Static analysis (see docs/determinism.md) -------------------------------
+#
+# koalalint is the repo's own go/analysis-style suite: detwalltime,
+# detorder, detrand and hotpathalloc mechanically enforce the determinism
+# and hot-path invariants the byte-identical-summaries claim rests on. It
+# is stdlib-only, so it always runs. staticcheck and govulncheck are
+# external, pinned below; their targets use an installed binary when one
+# is present and skip with install instructions otherwise (the module
+# itself stays dependency-free). CI installs both via `make lint-tools`.
+
+STATICCHECK_VERSION ?= 2025.1.1
+GOVULNCHECK_VERSION ?= v1.1.4
+
+lint: koalalint staticcheck vuln
+
+koalalint:
+	$(GO) run ./tools/koalalint ./...
+
+lint-tools:
+	$(GO) install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION)
+	$(GO) install golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION)
+
+staticcheck:
+	@bin="$$(command -v staticcheck || true)"; \
+	[ -n "$$bin" ] || { p="$$($(GO) env GOPATH)/bin/staticcheck"; [ -x "$$p" ] && bin="$$p"; }; \
+	if [ -n "$$bin" ]; then \
+		echo "$$bin ./..."; "$$bin" ./...; \
+	else \
+		echo "staticcheck not installed; skipping (run: make lint-tools)"; \
+	fi
+
+vuln:
+	@bin="$$(command -v govulncheck || true)"; \
+	[ -n "$$bin" ] || { p="$$($(GO) env GOPATH)/bin/govulncheck"; [ -x "$$p" ] && bin="$$p"; }; \
+	if [ -n "$$bin" ]; then \
+		echo "$$bin ./..."; "$$bin" ./...; \
+	else \
+		echo "govulncheck not installed; skipping (run: make lint-tools)"; \
+	fi
+
 # Full benchmark run; writes $(BENCH_OUT) (name -> ns/op, allocs/op and
 # custom metrics) so the perf trajectory accrues one file per PR — bump
 # the default each PR, or override: make bench BENCH_OUT=BENCH_PRn.json.
 # Two steps so a failing benchmark run fails the target instead of being
 # masked by the pipe's exit status.
-BENCH_OUT ?= BENCH_PR5.json
+BENCH_OUT ?= BENCH_PR6.json
 
 bench:
 	$(GO) test -run=NONE -bench=. -benchmem -count=1 . ./internal/sim ./internal/koala > bench.raw.tmp

@@ -454,12 +454,21 @@ func (s *Scheduler) jobFinished(j *Job) {
 	}
 	// Processors just came back: give the malleability manager precedence,
 	// or rescan the queue directly in plain-KOALA mode. Deferred through
-	// the engine so the GRAM releases settle first.
-	s.engine.Immediately(func() {
-		if s.hooks != nil {
-			s.hooks.ProcessorsAvailable()
-		} else {
-			s.ScanQueue()
-		}
-	})
+	// the engine so the GRAM releases settle first; the scheduler is its
+	// own pre-bound handler so the per-job-finish event allocates nothing.
+	s.engine.ImmediatelyOp(s, opProcessorsReturned)
+}
+
+// opProcessorsReturned is the Scheduler's only handler op: a finished
+// job's processors settled back at GRAM.
+const opProcessorsReturned = 0
+
+// OnEvent implements sim.Handler for the deferred processors-returned
+// notification scheduled by jobFinished.
+func (s *Scheduler) OnEvent(int) {
+	if s.hooks != nil {
+		s.hooks.ProcessorsAvailable()
+	} else {
+		s.ScanQueue()
+	}
 }

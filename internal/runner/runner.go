@@ -99,6 +99,12 @@ type MRunner struct {
 	running  bool
 	finished bool
 
+	// One in-flight release staged by mrunnerHandler.Release while its
+	// safe-point delay elapses (DYNACO serializes adaptation actions, so
+	// one slot is enough).
+	relN    int
+	relDone func()
+
 	appGrow AppGrowHandler
 
 	growMsgs   uint64
@@ -402,29 +408,41 @@ func (h *mrunnerHandler) Recruit(n int, done func()) {
 // Release waits for the application to reach a safe point, removes the
 // processes, pauses briefly for data redistribution, and releases the
 // corresponding GRAM jobs.
+//
+// The safe-point wait is scheduled as a handler op on the MRunner rather
+// than a closure; DYNACO executes one adaptation action at a time
+// (Framework.Busy), so a single pending-release slot suffices.
 func (h *mrunnerHandler) Release(n int, done func()) {
 	r := (*MRunner)(h)
 	if !r.running || r.exec == nil || r.exec.Done() {
 		done()
 		return
 	}
-	r.engine.After(r.cfg.Costs.SafePointDelay, func() {
-		if !r.running || r.exec == nil || r.exec.Done() {
-			done()
-			return
-		}
-		target := r.exec.Procs() - n
-		if target < r.profile.Min {
-			target = r.profile.Min
-		}
-		release := r.exec.Procs() - target
-		r.exec.SetProcs(target)
-		r.exec.PauseFor(r.cfg.Costs.RedistributePause)
-		for i := 0; i < release && len(r.stubs) > 0; i++ {
-			last := r.stubs[len(r.stubs)-1]
-			r.stubs = r.stubs[:len(r.stubs)-1]
-			r.svc.Release(last)
-		}
+	r.relN, r.relDone = n, done
+	r.engine.AfterOp(r.cfg.Costs.SafePointDelay, h, 0)
+}
+
+// OnEvent implements sim.Handler: the safe point has been reached —
+// complete the release staged by Release.
+func (h *mrunnerHandler) OnEvent(int) {
+	r := (*MRunner)(h)
+	n, done := r.relN, r.relDone
+	r.relN, r.relDone = 0, nil
+	if !r.running || r.exec == nil || r.exec.Done() {
 		done()
-	})
+		return
+	}
+	target := r.exec.Procs() - n
+	if target < r.profile.Min {
+		target = r.profile.Min
+	}
+	release := r.exec.Procs() - target
+	r.exec.SetProcs(target)
+	r.exec.PauseFor(r.cfg.Costs.RedistributePause)
+	for i := 0; i < release && len(r.stubs) > 0; i++ {
+		last := r.stubs[len(r.stubs)-1]
+		r.stubs = r.stubs[:len(r.stubs)-1]
+		r.svc.Release(last)
+	}
+	done()
 }

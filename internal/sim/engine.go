@@ -79,13 +79,17 @@ func eventLess(a, b *Event) bool {
 	return a.seq < b.seq
 }
 
+//koalalint:hotpath
 func (e *Engine) heapPush(ev *Event) {
 	ev.index = len(e.queue)
+	//koalalint:alloc amortized: the queue slice retains its capacity across events
 	e.queue = append(e.queue, ev)
 	e.heapUp(ev.index)
 }
 
 // heapPopMin removes and returns the earliest event.
+//
+//koalalint:hotpath
 func (e *Engine) heapPopMin() *Event {
 	q := e.queue
 	top := q[0]
@@ -102,6 +106,8 @@ func (e *Engine) heapPopMin() *Event {
 }
 
 // heapRemove removes the event at heap position i.
+//
+//koalalint:hotpath
 func (e *Engine) heapRemove(i int) {
 	q := e.queue
 	last := len(q) - 1
@@ -120,6 +126,7 @@ func (e *Engine) heapRemove(i int) {
 	ev.index = -1
 }
 
+//koalalint:hotpath
 func (e *Engine) heapUp(i int) {
 	q := e.queue
 	ev := q[i]
@@ -138,6 +145,8 @@ func (e *Engine) heapUp(i int) {
 
 // heapDown sifts position i towards the leaves; it reports whether the
 // element moved.
+//
+//koalalint:hotpath
 func (e *Engine) heapDown(i int) bool {
 	q := e.queue
 	n := len(q)
@@ -208,6 +217,8 @@ func (e *Engine) Pending() int { return len(e.queue) }
 
 // alloc hands out an Event from the free list, refilling from the arena
 // when it runs dry.
+//
+//koalalint:hotpath
 func (e *Engine) alloc() *Event {
 	if n := len(e.free); n > 0 {
 		ev := e.free[n-1]
@@ -216,6 +227,7 @@ func (e *Engine) alloc() *Event {
 		return ev
 	}
 	if len(e.arena) == 0 {
+		//koalalint:alloc arena refill: one chunk allocation amortized over arenaChunk events
 		e.arena = make([]Event, arenaChunk)
 	}
 	ev := &e.arena[0]
@@ -226,13 +238,18 @@ func (e *Engine) alloc() *Event {
 
 // recycle returns a fired or canceled event to the free list, dropping its
 // callback so the closure can be collected.
+//
+//koalalint:hotpath
 func (e *Engine) recycle(ev *Event) {
 	ev.fn = nil
 	ev.h = nil
+	//koalalint:alloc amortized: the free list retains its capacity across events
 	e.free = append(e.free, ev)
 }
 
 // schedule queues a recycled-or-fresh event at absolute time t.
+//
+//koalalint:hotpath
 func (e *Engine) schedule(t float64) *Event {
 	if math.IsNaN(t) {
 		panic("sim: scheduling event at NaN time")
@@ -300,6 +317,8 @@ func (e *Engine) Stop() { e.stopped = true }
 
 // step fires the earliest pending event. It reports false when the queue is
 // empty.
+//
+//koalalint:hotpath
 func (e *Engine) step() bool {
 	for len(e.queue) > 0 {
 		ev := e.heapPopMin()
@@ -328,6 +347,8 @@ func (e *Engine) step() bool {
 
 // Run executes events until the queue is empty or Stop is called. It returns
 // the final virtual time.
+//
+//koalalint:hotpath
 func (e *Engine) Run() float64 {
 	e.stopped = false
 	for !e.stopped && e.step() {
@@ -338,6 +359,8 @@ func (e *Engine) Run() float64 {
 // RunUntil executes events with time ≤ horizon, then advances the clock to
 // horizon (if the simulation has not already passed it) and returns. Events
 // scheduled beyond horizon remain queued.
+//
+//koalalint:hotpath
 func (e *Engine) RunUntil(horizon float64) float64 {
 	e.stopped = false
 	for !e.stopped {

@@ -176,6 +176,7 @@ func (s *Sketch) Merge(b *Sketch) {
 	}
 	s.n += b.n
 	s.zeros += b.zeros
+	//koalalint:ordered bucket counts add commutatively; only the merged totals escape
 	for k, c := range b.counts {
 		s.counts[k] += c
 	}
@@ -204,6 +205,7 @@ func (s *Sketch) Quantile(q float64) float64 {
 		return 0
 	}
 	keys := make([]int, 0, len(s.counts))
+	//koalalint:ordered keys are sorted before the cumulative walk below
 	for k := range s.counts {
 		keys = append(keys, k)
 	}

@@ -1,0 +1,155 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestMain lets the test binary impersonate the benchjson CLI: the gate's
+// exit codes and messages are contract (CI shell scripts branch on them),
+// so they are pinned end-to-end through a re-exec rather than by calling
+// compareFiles in-process.
+func TestMain(m *testing.M) {
+	if os.Getenv("BENCHJSON_BE_TOOL") == "1" {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// runCompare re-executes the test binary as `benchjson -compare args...`
+// and returns combined stdout, stderr and the exit code.
+func runCompare(t *testing.T, args ...string) (stdout, stderr string, code int) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], append([]string{"-compare"}, args...)...)
+	cmd.Env = append(os.Environ(), "BENCHJSON_BE_TOOL=1")
+	var out, errb strings.Builder
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	err := cmd.Run()
+	code = 0
+	if ee, ok := err.(*exec.ExitError); ok {
+		code = ee.ExitCode()
+	} else if err != nil {
+		t.Fatalf("re-exec: %v", err)
+	}
+	return out.String(), errb.String(), code
+}
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+const oneBench = `{"go_version":"go-test","benchmarks":{"BenchmarkHot":{"iterations":100,"ns_per_op":1000,"allocs_per_op":100}}}`
+
+func TestCompareCLIMissingBenchmarkInNewFile(t *testing.T) {
+	oldP := writeTemp(t, "old.json", `{"benchmarks":{
+		"BenchmarkHot":{"iterations":100,"ns_per_op":1000,"allocs_per_op":100},
+		"BenchmarkGone":{"iterations":100,"ns_per_op":500,"allocs_per_op":50}}}`)
+	newP := writeTemp(t, "new.json", oneBench)
+	stdout, stderr, code := runCompare(t, oldP, newP)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0 (removed benchmarks never fail)\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+	if !strings.Contains(stdout, "BenchmarkGone") || !strings.Contains(stdout, "removed") {
+		t.Errorf("report does not mention the removed benchmark:\n%s", stdout)
+	}
+	if !strings.Contains(stderr, "no regressions beyond 10%") {
+		t.Errorf("stderr = %q, want the no-regressions summary", stderr)
+	}
+}
+
+func TestCompareCLIZeroIterationEntries(t *testing.T) {
+	// A zero-iteration entry is what a skipped or crashed benchmark run
+	// serializes to. Time must not be gated (one cold measurement means
+	// nothing); allocations still gate, with the wide cold-run slack.
+	oldP := writeTemp(t, "old.json", oneBench)
+
+	slow := writeTemp(t, "slow.json",
+		`{"benchmarks":{"BenchmarkHot":{"iterations":0,"ns_per_op":900000,"allocs_per_op":100}}}`)
+	stdout, stderr, code := runCompare(t, oldP, slow)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0: ns/op of a zero-iteration entry must not gate\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+	if strings.Contains(stdout, "ns/op") {
+		t.Errorf("report compares ns/op despite a zero-iteration side:\n%s", stdout)
+	}
+
+	leaky := writeTemp(t, "leaky.json",
+		`{"benchmarks":{"BenchmarkHot":{"iterations":0,"ns_per_op":1000,"allocs_per_op":200}}}`)
+	stdout, stderr, code = runCompare(t, oldP, leaky)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1: +100 allocs/op is beyond even the cold slack\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+	if !strings.Contains(stdout, "REG") || !strings.Contains(stdout, "allocs/op") {
+		t.Errorf("report missing the allocs/op regression line:\n%s", stdout)
+	}
+	if !strings.Contains(stderr, "1 regression(s) beyond 10%") {
+		t.Errorf("stderr = %q, want the regression summary", stderr)
+	}
+}
+
+func TestCompareCLIEmptyJSON(t *testing.T) {
+	empty := writeTemp(t, "empty.json", `{}`)
+	newP := writeTemp(t, "new.json", oneBench)
+	for _, order := range [][2]string{{empty, newP}, {newP, empty}} {
+		_, stderr, code := runCompare(t, order[0], order[1])
+		if code != 2 {
+			t.Fatalf("exit = %d, want 2 for a benchmark-less file\nstderr:\n%s", code, stderr)
+		}
+		if !strings.Contains(stderr, "no benchmarks") || !strings.Contains(stderr, "empty.json") {
+			t.Errorf("stderr = %q, want 'no benchmarks' naming empty.json", stderr)
+		}
+	}
+}
+
+func TestCompareCLICorruptJSON(t *testing.T) {
+	cases := map[string]string{
+		"truncated.json": `{"benchmarks":{"BenchmarkHot":{"iterations":`,
+		"notjson.json":   `not json at all`,
+		"zerobyte.json":  ``,
+	}
+	newP := writeTemp(t, "new.json", oneBench)
+	for name, content := range cases {
+		corrupt := writeTemp(t, name, content)
+		_, stderr, code := runCompare(t, corrupt, newP)
+		if code != 2 {
+			t.Fatalf("%s: exit = %d, want 2\nstderr:\n%s", name, code, stderr)
+		}
+		if !strings.Contains(stderr, "benchjson:") || !strings.Contains(stderr, name) {
+			t.Errorf("%s: stderr = %q, want a benchjson: error naming the file", name, stderr)
+		}
+	}
+}
+
+func TestCompareCLIMissingFile(t *testing.T) {
+	newP := writeTemp(t, "new.json", oneBench)
+	_, stderr, code := runCompare(t, filepath.Join(t.TempDir(), "nope.json"), newP)
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2 for a missing file\nstderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stderr, "no such file") {
+		t.Errorf("stderr = %q, want the underlying open error", stderr)
+	}
+}
+
+func TestCompareCLIUsageErrors(t *testing.T) {
+	_, stderr, code := runCompare(t, "only-one.json")
+	if code != 2 || !strings.Contains(stderr, "needs two files") {
+		t.Errorf("one-arg: exit = %d stderr = %q, want 2 + usage message", code, stderr)
+	}
+	oldP := writeTemp(t, "old.json", oneBench)
+	newP := writeTemp(t, "new.json", oneBench)
+	_, stderr, code = runCompare(t, oldP, newP, "-threshold", "-5")
+	if code != 2 || !strings.Contains(stderr, "-threshold must be >= 0") {
+		t.Errorf("negative threshold: exit = %d stderr = %q", code, stderr)
+	}
+}

@@ -1,0 +1,86 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/tools/koalalint/lint"
+)
+
+// DetOrder flags map iteration in deterministic packages: Go randomizes
+// map range order, and that order leaks straight into event order, NDJSON
+// streams and summary bytes unless the loop is order-insensitive.
+var DetOrder = &lint.Analyzer{
+	Name: "detorder",
+	Doc: `flag unordered map iteration in deterministic packages
+
+range over a map (and sync.Map.Range) observes Go's randomized iteration
+order. On any path that feeds events, streams or summaries that makes
+output depend on the hash seed. Loops that are genuinely order-insensitive
+(commutative folds, key collection followed by a sort) carry a
+justification:
+
+    //koalalint:ordered keys are sorted before use below
+
+The justification text is required; a bare //koalalint:ordered is itself
+a diagnostic.`,
+	Run: runDetOrder,
+}
+
+func runDetOrder(pass *lint.Pass) error {
+	pkg := pass.Pkg
+	if !isDeterministic(pkg.ImportPath) {
+		return nil
+	}
+	report := func(n ast.Node, what string) {
+		if d, ok := pkg.DirectiveAt(n, "ordered"); ok {
+			if d.Justification == "" {
+				pass.Reportf(n.Pos(), "//koalalint:ordered needs a justification explaining why %s is order-insensitive", what)
+			}
+			return
+		}
+		pass.Reportf(n.Pos(),
+			"%s iterates in randomized order in a deterministic package; iterate a sorted key slice, or annotate the loop with //koalalint:ordered <why order cannot matter>",
+			what)
+	}
+	inspectFiles(pkg, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			tv, ok := pkg.TypesInfo.Types[n.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+				report(n, "range over map")
+			}
+		case *ast.CallExpr:
+			sel, ok := n.Fun.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Range" {
+				return true
+			}
+			if recvIsSyncMap(pkg.TypesInfo, sel) {
+				report(n, "sync.Map.Range")
+			}
+		}
+		return true
+	})
+	return nil
+}
+
+// recvIsSyncMap reports whether the selector is a method call on sync.Map.
+func recvIsSyncMap(info *types.Info, sel *ast.SelectorExpr) bool {
+	s, ok := info.Selections[sel]
+	if !ok {
+		return false
+	}
+	t := s.Recv()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "Map"
+}

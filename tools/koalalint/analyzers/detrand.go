@@ -1,0 +1,69 @@
+package analyzers
+
+import (
+	"go/ast"
+	"strconv"
+	"strings"
+
+	"repro/tools/koalalint/lint"
+)
+
+// DetRand forbids unseeded randomness in deterministic packages: the
+// global math/rand source (process-seeded since Go 1.20) and crypto/rand
+// (never reproducible). Randomness must flow through the seeded generator
+// the experiment config threads in — sim.RNG, or a *rand.Rand constructed
+// from the experiment seed.
+var DetRand = &lint.Analyzer{
+	Name: "detrand",
+	Doc: `forbid unseeded randomness in deterministic packages
+
+Top-level math/rand functions (rand.Intn, rand.Float64, rand.Shuffle, ...)
+draw from the process-global source, which Go seeds randomly at startup;
+crypto/rand is nondeterministic by contract. Either one breaks the
+(config, seed) -> summary function. Instance methods on a seeded
+*rand.Rand and the constructors (rand.New, rand.NewSource, ...) are
+allowed; the repo's own seeded generator is sim.RNG.`,
+	Run: runDetRand,
+}
+
+func runDetRand(pass *lint.Pass) error {
+	pkg := pass.Pkg
+	if !isDeterministic(pkg.ImportPath) {
+		return nil
+	}
+	for _, f := range pkg.Files {
+		for _, imp := range f.Imports {
+			p, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if p == "crypto/rand" {
+				pass.Reportf(imp.Pos(),
+					"crypto/rand is nondeterministic by contract and has no place in a deterministic package; derive randomness from the experiment seed (sim.RNG)")
+			}
+		}
+	}
+	inspectFiles(pkg, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		for _, randPath := range []string{"math/rand", "math/rand/v2"} {
+			fn := usedPackageFunc(pkg.TypesInfo, sel.Sel, randPath)
+			if fn == nil {
+				continue
+			}
+			// Constructors build a caller-seeded instance; only the
+			// top-level draws hit the global source.
+			if strings.HasPrefix(fn.Name(), "New") {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"%s.%s draws from the unseeded process-global source; thread the seeded generator from the experiment config (sim.RNG or a *rand.Rand built with rand.New)",
+				randPath, fn.Name())
+			return true
+		}
+		return true
+	})
+	return nil
+}

@@ -1,0 +1,66 @@
+// Package koala is a detorder fixture: map iteration order must either be
+// laundered through a sort or justified as order-insensitive.
+package koala
+
+import (
+	"sort"
+	"sync"
+)
+
+func violation(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want `range over map iterates in randomized order`
+		total += v
+	}
+	return total
+}
+
+func syncMapViolation(m *sync.Map) {
+	m.Range(func(k, v any) bool { return true }) // want `sync\.Map\.Range iterates in randomized order`
+}
+
+// justified: the fold is commutative, order cannot reach the output.
+func annotated(m map[string]int) int {
+	total := 0
+	//koalalint:ordered integer addition is commutative; only the total escapes
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// A bare annotation is not a justification.
+func annotatedWithoutReason(m map[string]int) int {
+	n := 0
+	//koalalint:ordered
+	for range m { // want `needs a justification`
+		n++
+	}
+	return n
+}
+
+// sortedKeys is the preferred fix: iterate a sorted key slice.
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	//koalalint:ordered keys are sorted before any ordered use
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Slices and channels range deterministically; a Range method on a
+// non-sync.Map type is someone else's contract.
+func allowed(xs []int, ch chan int, t customMap) {
+	for range xs {
+	}
+	for range ch {
+		break
+	}
+	t.Range(func(k, v any) bool { return true })
+}
+
+type customMap struct{}
+
+func (customMap) Range(func(k, v any) bool) {}

@@ -1,0 +1,11 @@
+// Package stats is a detrand fixture for the crypto/rand half of the
+// check: the import alone is the finding.
+package stats
+
+import (
+	crand "crypto/rand" // want `crypto/rand is nondeterministic by contract`
+)
+
+func entropy(buf []byte) {
+	_, _ = crand.Read(buf)
+}

@@ -1,0 +1,22 @@
+// Package workload is a detrand fixture: randomness must come from a
+// seeded generator, never the process-global source.
+package workload
+
+import (
+	"math/rand"
+)
+
+func violations() {
+	_ = rand.Intn(10)     // want `math/rand\.Intn draws from the unseeded process-global source`
+	_ = rand.Float64()    // want `math/rand\.Float64 draws from the unseeded process-global source`
+	rand.Shuffle(3, swap) // want `math/rand\.Shuffle draws from the unseeded process-global source`
+	rand.Seed(42)         // want `math/rand\.Seed draws from the unseeded process-global source`
+}
+
+func swap(i, j int) {}
+
+// allowed: a caller-seeded instance is exactly how randomness should flow.
+func allowed(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Float64() + float64(r.Intn(10))
+}

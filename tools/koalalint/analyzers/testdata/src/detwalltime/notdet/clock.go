@@ -1,0 +1,10 @@
+// Package notdet is outside the deterministic set: wall-clock reads are
+// its business (cf. internal/server, internal/store) and none may be
+// flagged.
+package notdet
+
+import "time"
+
+func Uptime(start time.Time) time.Duration { return time.Since(start) }
+
+func Stamp() int64 { return time.Now().UnixNano() }

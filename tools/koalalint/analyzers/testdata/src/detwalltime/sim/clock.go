@@ -1,0 +1,24 @@
+// Package sim is a detwalltime fixture: its import path ends in a
+// deterministic package name, so every wall-clock read is a finding.
+package sim
+
+import "time"
+
+func violations() time.Time {
+	t := time.Now()                        // want `time\.Now reads the wall clock`
+	_ = time.Since(t)                      // want `time\.Since reads the wall clock`
+	_ = time.Tick(time.Second)             // want `time\.Tick reads the wall clock`
+	_ = time.After(time.Second)            // want `time\.After reads the wall clock`
+	time.Sleep(1)                          // want `time\.Sleep reads the wall clock`
+	_ = time.NewTimer(time.Second)         // want `time\.NewTimer reads the wall clock`
+	time.AfterFunc(time.Second, func() {}) // want `time\.AfterFunc reads the wall clock`
+	return t
+}
+
+// allowed: pure time arithmetic carries no nondeterminism.
+func allowed() time.Duration {
+	d := 3 * time.Second
+	_ = time.Duration(42).String()
+	_ = time.Unix(0, 0)
+	return d
+}

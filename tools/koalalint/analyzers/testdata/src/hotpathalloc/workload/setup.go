@@ -1,0 +1,10 @@
+// Package workload is deterministic but not part of the scheduling stack:
+// submission-time closures run once per replication, not once per event,
+// so hotpathalloc leaves them alone.
+package workload
+
+import "repro/tools/koalalint/analyzers/testdata/src/hotpathalloc/sim"
+
+func Submit(e *sim.Engine, at float64) {
+	e.At(at, func() {})
+}

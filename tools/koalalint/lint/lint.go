@@ -1,0 +1,173 @@
+// Package lint is a small, dependency-free analysis framework in the shape
+// of golang.org/x/tools/go/analysis: an Analyzer inspects one type-checked
+// package at a time through a Pass and reports position-anchored
+// diagnostics. The repo vendors nothing, so the x/tools multichecker is not
+// available; this package provides the same seams (Analyzer, Pass,
+// Diagnostic) on the standard library only, and the analyzers in
+// tools/koalalint/analyzers would port to go/analysis mechanically if the
+// dependency ever lands.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named check over a single package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics (lowercase, no spaces).
+	Name string
+	// Doc is the one-paragraph description printed by `koalalint -help`.
+	Doc string
+	// Run inspects pass.Pkg and reports findings via pass.Report*.
+	Run func(*Pass) error
+}
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	TypesInfo  *types.Info
+
+	directives map[string][]Directive // file name -> directives, built lazily
+}
+
+// Pass carries one analyzer's run over one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+
+	diags []Diagnostic
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Pkg.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Run applies the analyzers to the packages and returns every diagnostic,
+// sorted by file, line and column.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Pkg: pkg}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s on %s: %w", a.Name, pkg.ImportPath, err)
+			}
+			out = append(out, pass.diags...)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out, nil
+}
+
+// A Directive is a //koalalint:<kind> <justification> comment. Directives
+// attach to the line they sit on and, for the statement-level kinds
+// (ordered, alloc), to the line immediately below — the idiomatic spot is
+// the line above the statement they justify.
+type Directive struct {
+	Kind          string // "ordered", "alloc", "hotpath", ...
+	Justification string // everything after the kind, trimmed
+	Line          int
+}
+
+const directivePrefix = "koalalint:"
+
+// buildDirectives scans every comment in the package once.
+func (p *Package) buildDirectives() {
+	p.directives = make(map[string][]Directive)
+	for _, f := range p.Files {
+		file := p.Fset.File(f.Pos())
+		if file == nil {
+			continue
+		}
+		name := file.Name()
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimPrefix(text, "/*")
+				text = strings.TrimSpace(strings.TrimSuffix(text, "*/"))
+				if !strings.HasPrefix(text, directivePrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(text, directivePrefix)
+				kind, just, _ := strings.Cut(rest, " ")
+				p.directives[name] = append(p.directives[name], Directive{
+					Kind:          kind,
+					Justification: strings.TrimSpace(just),
+					Line:          p.Fset.Position(c.Pos()).Line,
+				})
+			}
+		}
+	}
+}
+
+// DirectiveAt returns the directive of the given kind governing the node:
+// one on the node's first line, or on the line immediately above it.
+func (p *Package) DirectiveAt(node ast.Node, kind string) (Directive, bool) {
+	if p.directives == nil {
+		p.buildDirectives()
+	}
+	pos := p.Fset.Position(node.Pos())
+	for _, d := range p.directives[pos.Filename] {
+		if d.Kind == kind && (d.Line == pos.Line || d.Line == pos.Line-1) {
+			return d, true
+		}
+	}
+	return Directive{}, false
+}
+
+// FuncDirective returns the directive of the given kind in the function's
+// doc comment or on its declaration line.
+func (p *Package) FuncDirective(fn *ast.FuncDecl, kind string) (Directive, bool) {
+	if p.directives == nil {
+		p.buildDirectives()
+	}
+	pos := p.Fset.Position(fn.Pos())
+	lo := pos.Line
+	if fn.Doc != nil {
+		lo = p.Fset.Position(fn.Doc.Pos()).Line
+	}
+	for _, d := range p.directives[pos.Filename] {
+		if d.Kind == kind && d.Line >= lo-1 && d.Line <= pos.Line {
+			return d, true
+		}
+	}
+	return Directive{}, false
+}

@@ -1,0 +1,113 @@
+// Package linttest runs a lint.Analyzer over fixture packages and checks
+// its diagnostics against // want comments, in the manner of
+// golang.org/x/tools/go/analysis/analysistest.
+//
+// Fixtures live under the test's testdata/src/<analyzer>/<pkg>; a line
+// expecting a diagnostic carries a trailing comment:
+//
+//	for k := range m { // want `iterates in randomized order`
+//
+// The quoted text is a regexp matched against the diagnostic message.
+// Every want must be matched by a diagnostic on its line and every
+// diagnostic must be matched by a want, or the test fails.
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/tools/koalalint/lint"
+)
+
+var wantRe = regexp.MustCompile("//\\s*want\\s+(`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\")")
+
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// Run loads each fixture package dir (relative to testdata/src) and checks
+// the analyzer's diagnostics against the fixtures' want comments.
+func Run(t *testing.T, a *lint.Analyzer, fixtureDirs ...string) {
+	t.Helper()
+	patterns := make([]string, len(fixtureDirs))
+	for i, d := range fixtureDirs {
+		patterns[i] = "./testdata/src/" + d
+	}
+	pkgs, err := lint.Load(".", patterns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := lint.Run(pkgs, []*lint.Analyzer{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wants []*want
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			wants = append(wants, collectWants(t, pkg, f)...)
+		}
+	}
+
+	key := func(file string, line int) string { return fmt.Sprintf("%s:%d", file, line) }
+	byLine := make(map[string][]*want)
+	for _, w := range wants {
+		byLine[key(w.file, w.line)] = append(byLine[key(w.file, w.line)], w)
+	}
+	for _, d := range diags {
+		found := false
+		for _, w := range byLine[key(d.Pos.Filename, d.Pos.Line)] {
+			if w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matched want %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+func collectWants(t *testing.T, pkg *lint.Package, f *ast.File) []*want {
+	t.Helper()
+	var out []*want
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			m := wantRe.FindStringSubmatch(c.Text)
+			if m == nil {
+				continue
+			}
+			text := m[1]
+			var pattern string
+			if strings.HasPrefix(text, "`") {
+				pattern = strings.Trim(text, "`")
+			} else {
+				var err error
+				pattern, err = strconv.Unquote(text)
+				if err != nil {
+					t.Fatalf("%s: bad want string %s: %v", pkg.Fset.Position(c.Pos()), text, err)
+				}
+			}
+			re, err := regexp.Compile(pattern)
+			if err != nil {
+				t.Fatalf("%s: bad want regexp %q: %v", pkg.Fset.Position(c.Pos()), pattern, err)
+			}
+			pos := pkg.Fset.Position(c.Pos())
+			out = append(out, &want{file: pos.Filename, line: pos.Line, re: re})
+		}
+	}
+	return out
+}

@@ -1,0 +1,141 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+)
+
+// listPackage is the subset of `go list -json` output the loader consumes.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	Standard   bool
+	GoFiles    []string
+	ImportMap  map[string]string
+}
+
+// Load resolves the patterns with the go command, parses and type-checks
+// every matched package and its transitive dependencies from source, and
+// returns the matched packages ready for analysis. Test files are not
+// loaded: the invariants koalalint enforces are about production code, and
+// fixtures under testdata hold the violating examples.
+//
+// The loader shells out to `go list` (the toolchain is the only build
+// dependency this module has) and type-checks the standard library from
+// GOROOT sources with CGO_ENABLED=0, so it needs no pre-built export data
+// and no module downloads.
+func Load(dir string, patterns []string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	targets, err := goList(dir, append([]string{"list", "--"}, patterns...))
+	if err != nil {
+		return nil, err
+	}
+	isTarget := make(map[string]bool, len(targets))
+	for _, line := range bytes.Split(bytes.TrimSpace(targets), []byte("\n")) {
+		if len(line) > 0 {
+			isTarget[string(line)] = true
+		}
+	}
+
+	args := append([]string{"list", "-deps", "-json=ImportPath,Dir,Name,Standard,GoFiles,ImportMap", "--"}, patterns...)
+	out, err := goList(dir, args)
+	if err != nil {
+		return nil, err
+	}
+
+	fset := token.NewFileSet()
+	checked := map[string]*types.Package{"unsafe": types.Unsafe}
+	var result []*Package
+
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for dec.More() {
+		lp := new(listPackage)
+		if err := dec.Decode(lp); err != nil {
+			return nil, fmt.Errorf("koalalint: decoding go list output: %w", err)
+		}
+		if lp.ImportPath == "unsafe" {
+			continue
+		}
+		files := make([]*ast.File, 0, len(lp.GoFiles))
+		for _, name := range lp.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, fmt.Errorf("koalalint: %w", err)
+			}
+			files = append(files, f)
+		}
+		info := &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		}
+		conf := types.Config{
+			Importer: mapImporter{checked: checked, importMap: lp.ImportMap},
+			Sizes:    types.SizesFor("gc", runtime.GOARCH),
+		}
+		tpkg, err := conf.Check(lp.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("koalalint: type-checking %s: %w", lp.ImportPath, err)
+		}
+		checked[lp.ImportPath] = tpkg
+		if isTarget[lp.ImportPath] {
+			result = append(result, &Package{
+				ImportPath: lp.ImportPath,
+				Name:       lp.Name,
+				Dir:        lp.Dir,
+				Fset:       fset,
+				Files:      files,
+				Types:      tpkg,
+				TypesInfo:  info,
+			})
+		}
+	}
+	return result, nil
+}
+
+// mapImporter resolves imports against the already-checked set, honoring
+// the package's vendor/ImportMap indirections from go list.
+type mapImporter struct {
+	checked   map[string]*types.Package
+	importMap map[string]string
+}
+
+func (m mapImporter) Import(path string) (*types.Package, error) {
+	if mapped, ok := m.importMap[path]; ok {
+		path = mapped
+	}
+	if pkg, ok := m.checked[path]; ok {
+		return pkg, nil
+	}
+	// go list -deps emits dependencies before dependents, so a miss here
+	// means the loader's input was not a closed dependency graph.
+	return nil, fmt.Errorf("package %q not in dependency-ordered load", path)
+}
+
+// goList runs the go command in dir with cgo disabled (the pure-Go file set
+// is what the source type-checker can close over).
+func goList(dir string, args []string) ([]byte, error) {
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("koalalint: go %s: %v\n%s", args[0], err, stderr.String())
+	}
+	return out, nil
+}
