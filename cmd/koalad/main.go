@@ -10,7 +10,8 @@
 //	koalad [-addr :8080] [-parallel N] [-max-runs N] [-queue N]
 //	       [-workers http://hostA:8080,http://hostB:8080] [-role worker]
 //	       [-data-dir DIR] [-store-max-bytes N] [-store-max-age D]
-//	       [-store-fsync] [-store-gc-interval D] [-pprof] [-version]
+//	       [-store-fsync] [-store-gc-interval D] [-pprof]
+//	       [-log-format text|json] [-log-level info] [-version]
 //
 // Endpoints:
 //
@@ -18,6 +19,7 @@
 //	GET  /v1/experiments             list resident runs (id, hash, status, source)
 //	GET  /v1/experiments/{id}        status, source, timings + final summary
 //	GET  /v1/experiments/{id}/events NDJSON progress stream (replay + follow)
+//	GET  /v1/experiments/{id}/trace  the run's lifecycle spans (JSON)
 //	POST /v1/runs/execute            internal worker endpoint: submit + follow
 //	                                 in one NDJSON response (coordinators
 //	                                 dispatch shards here)
@@ -53,7 +55,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -64,9 +66,17 @@ import (
 
 	"repro/internal/backend"
 	"repro/internal/buildinfo"
+	"repro/internal/obs"
 	"repro/internal/server"
 	"repro/internal/store"
 )
+
+// fatal logs an error record and exits: koalad's startup validation
+// must fail the process with a clear message, not a stack trace.
+func fatal(log *slog.Logger, msg string, attrs ...any) {
+	log.Error(msg, attrs...)
+	os.Exit(1)
+}
 
 func main() {
 	version := flag.Bool("version", false, "print version and exit")
@@ -84,6 +94,8 @@ func main() {
 	storeMaxAge := flag.Duration("store-max-age", 0, "GC bound on a stored result's age (0 = unbounded)")
 	storeFsync := flag.Bool("store-fsync", false, "fsync store writes and journal appends (survives power loss, not just process death; slower)")
 	storeGCInterval := flag.Duration("store-gc-interval", 10*time.Minute, "how often the store GC sweep enforces -store-max-bytes/-store-max-age (0 = only at startup)")
+	logFormat := flag.String("log-format", obs.LogText, "log output format: text or json (structured either way)")
+	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
 	flag.Parse()
 
 	if *version {
@@ -91,46 +103,60 @@ func main() {
 		return
 	}
 
-	logger := log.New(os.Stderr, "", log.LstdFlags)
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "koalad: %v\n", err)
+		os.Exit(1)
+	}
+	logger, err := obs.NewLogger(os.Stderr, *logFormat, level)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "koalad: %v\n", err)
+		os.Exit(1)
+	}
+	// One metrics registry for the whole process: the server's lifecycle
+	// histograms, the backend's dispatch RTT and the store's I/O
+	// latencies all land here and render together on /metrics.
+	metrics := obs.NewRegistry()
 	// Validate execution knobs up front: a bad value must fail the
 	// process at startup with a clear message, not surface as a wedged
 	// pool or a dispatch error minutes into a run.
 	if *par < 1 {
-		logger.Fatalf("koalad: -parallel must be at least 1 simulation worker (got %d); omit the flag for one per CPU", *par)
+		fatal(logger, "koalad: -parallel must be at least 1 simulation worker; omit the flag for one per CPU", "got", *par)
 	}
 	if *maxRuns < 1 {
-		logger.Fatalf("koalad: -max-runs must be at least 1 (got %d)", *maxRuns)
+		fatal(logger, "koalad: -max-runs must be at least 1", "got", *maxRuns)
 	}
 	if *queue < 1 {
-		logger.Fatalf("koalad: -queue must be at least 1 (got %d)", *queue)
+		fatal(logger, "koalad: -queue must be at least 1", "got", *queue)
 	}
 	if *retain < 1 {
-		logger.Fatalf("koalad: -retain must be at least 1 (got %d)", *retain)
+		fatal(logger, "koalad: -retain must be at least 1", "got", *retain)
 	}
 	if *role != "coordinator" && *role != "worker" {
-		logger.Fatalf("koalad: -role must be coordinator or worker (got %q)", *role)
+		fatal(logger, "koalad: -role must be coordinator or worker", "got", *role)
 	}
 	if *role == "worker" && *workers != "" {
-		logger.Fatalf("koalad: -role worker cannot dispatch; drop -workers (a worker must never re-forward runs)")
+		fatal(logger, "koalad: -role worker cannot dispatch; drop -workers (a worker must never re-forward runs)")
 	}
 	var be backend.Backend
 	if *workers != "" {
 		rb, err := backend.NewRemote(backend.RemoteOptions{
 			Workers: strings.Split(*workers, ","),
-			Logf:    logger.Printf,
+			Log:     logger,
+			Metrics: metrics,
 		})
 		if err != nil {
-			logger.Fatalf("koalad: %v", err)
+			fatal(logger, "koalad: bad -workers", "err", err)
 		}
 		be = rb
-		logger.Printf("koalad: dispatching to %d workers: %s", len(rb.Workers()), strings.Join(rb.Workers(), ", "))
+		logger.Info("koalad: dispatching to workers", "count", len(rb.Workers()), "workers", strings.Join(rb.Workers(), ", "))
 	}
 	var st *store.Store
 	if *dataDir != "" {
 		var err error
-		st, err = store.Open(*dataDir, store.Options{Fsync: *storeFsync, Logf: logger.Printf})
+		st, err = store.Open(*dataDir, store.Options{Fsync: *storeFsync, Log: logger, Metrics: metrics})
 		if err != nil {
-			logger.Fatalf("koalad: opening data dir: %v", err)
+			fatal(logger, "koalad: opening data dir", "dir", *dataDir, "err", err)
 		}
 		defer st.Close()
 	}
@@ -144,26 +170,28 @@ func main() {
 		Store:         st,
 		Backend:       be,
 		Role:          *role,
-		Logf:          logger.Printf,
+		Log:           logger,
+		Metrics:       metrics,
 	})
 	if st != nil {
 		rec, err := srv.Recover()
 		if err != nil {
-			logger.Fatalf("koalad: recovering from %s: %v", *dataDir, err)
+			fatal(logger, "koalad: recovery failed", "dir", *dataDir, "err", err)
 		}
-		logger.Printf("koalad: recovered from %s: %s", *dataDir, rec)
+		logger.Info("koalad: recovered", "dir", *dataDir, "stats", rec.String())
 		runGC := func() {
 			if *storeMaxBytes == 0 && *storeMaxAge == 0 {
 				return
 			}
 			res, err := st.GC(*storeMaxBytes, *storeMaxAge)
 			if err != nil {
-				logger.Printf("koalad: store gc: %v", err)
+				logger.Warn("koalad: store gc failed", "err", err)
 				return
 			}
 			if res.Removed > 0 {
-				logger.Printf("koalad: store gc removed %d entries (%d bytes); %d entries (%d bytes) remain",
-					res.Removed, res.RemovedBytes, res.Entries, res.Bytes)
+				logger.Info("koalad: store gc",
+					"removed", res.Removed, "removed_bytes", res.RemovedBytes,
+					"entries", res.Entries, "bytes", res.Bytes)
 			}
 		}
 		runGC()
@@ -188,8 +216,8 @@ func main() {
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 	errCh := make(chan error, 1)
 	go func() {
-		logger.Printf("koalad: %s listening on %s (max-runs=%d queue=%d)",
-			buildinfo.String("koalad"), *addr, *maxRuns, *queue)
+		logger.Info("koalad: listening",
+			"build", buildinfo.String("koalad"), "addr", *addr, "max_runs", *maxRuns, "queue", *queue)
 		errCh <- httpSrv.ListenAndServe()
 	}()
 
@@ -198,9 +226,9 @@ func main() {
 
 	select {
 	case sig := <-sigCh:
-		logger.Printf("koalad: received %s, draining (timeout %s)", sig, *drainTimeout)
+		logger.Info("koalad: draining on signal", "signal", sig.String(), "timeout", drainTimeout.String())
 	case err := <-errCh:
-		logger.Fatalf("koalad: serve: %v", err)
+		fatal(logger, "koalad: serve failed", "err", err)
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
@@ -208,12 +236,12 @@ func main() {
 	// Refuse new submissions and drain admitted runs first, then close
 	// the listener and any streaming connections.
 	if err := srv.Shutdown(ctx); err != nil {
-		logger.Printf("koalad: drain incomplete, in-flight runs aborted: %v", err)
+		logger.Warn("koalad: drain incomplete, in-flight runs aborted", "err", err)
 	} else {
-		logger.Printf("koalad: drained all in-flight runs")
+		logger.Info("koalad: drained all in-flight runs")
 	}
 	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		logger.Printf("koalad: http shutdown: %v", err)
+		logger.Warn("koalad: http shutdown failed", "err", err)
 	}
-	logger.Printf("koalad: bye")
+	logger.Info("koalad: bye")
 }

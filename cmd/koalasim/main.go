@@ -9,16 +9,24 @@
 //	         [-no-background] [-csv FILE] [-stream] [-version]
 //	         [-workers http://hostA:8080,http://hostB:8080]
 //	         [-cpuprofile FILE] [-memprofile FILE]
+//	         [-trace FILE] [-simstats]
 //
 // With -workers the experiment executes on a remote koalad worker
 // (chosen by config fingerprint) instead of in-process, falling back
 // to local execution if the worker is unreachable; results are
 // byte-identical either way. Remote execution uses the streaming
 // aggregation path, so it requires -stream.
+//
+// -trace writes the run's lifecycle spans (submit, execute, per-
+// replication; plus any spans a remote worker streamed back) as JSON.
+// -simstats prints the simulation engine's counters after the run —
+// events scheduled/fired/canceled, peak pending, grow/shrink decisions
+// — collected through a passive hook that never perturbs results.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -30,6 +38,7 @@ import (
 	"repro/internal/buildinfo"
 	"repro/internal/experiment"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
@@ -56,6 +65,8 @@ func run() int {
 	workers := flag.String("workers", "", "comma-separated koalad worker base URLs: execute the experiment on a remote worker instead of in-process (requires -stream)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the experiment to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile (after the experiment) to this file")
+	tracePath := flag.String("trace", "", "write the run's lifecycle trace (JSON spans) to this file")
+	simStats := flag.Bool("simstats", false, "print simulation-engine counters (events, grow/shrink decisions) after the run; in-process execution only")
 	flag.Parse()
 
 	if *version {
@@ -79,14 +90,17 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "koalasim: -workers executes remotely on the streaming path; add -stream")
 		return 1
 	}
+	if *simStats && *workers != "" {
+		fmt.Fprintln(os.Stderr, "koalasim: -simstats reads the in-process engine; it cannot observe a remote worker's")
+		return 1
+	}
 	var remote *backend.Remote
 	if *workers != "" {
 		var err error
+		log, _ := obs.NewLogger(os.Stderr, obs.LogText, 0)
 		remote, err = backend.NewRemote(backend.RemoteOptions{
 			Workers: strings.Split(*workers, ","),
-			Logf: func(format string, args ...any) {
-				fmt.Fprintf(os.Stderr, "koalasim: "+format+"\n", args...)
-			},
+			Log:     log,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "koalasim:", err)
@@ -140,14 +154,71 @@ func run() int {
 		GrowthReserve: *reserve,
 		NoBackground:  *noBg,
 	}
+	var collector *obs.SimStats
+	if *simStats {
+		collector = obs.NewSimStats()
+		cfg.SimStats = collector
+	}
+	// The CLI trace mirrors koalad's run lifecycle: a root span over the
+	// whole experiment, an execute span around the backend call, and —
+	// via the same context propagation the daemon uses — any spans a
+	// remote worker streams back, parented under the execute span.
+	var tr *obs.Trace
+	var rootSpan string
+	if *tracePath != "" {
+		tr = obs.NewTrace("")
+		rootSpan = tr.StartSpan("", "koalasim", map[string]string{
+			"workload": spec.Name, "policy": *policy, "approach": *approach,
+			"placement": *placement, "runs": fmt.Sprint(*runs), "seed": fmt.Sprint(*seed),
+		})
+	}
+	finishTrace := func() {
+		if tr == nil {
+			return
+		}
+		tr.EndSpan(rootSpan)
+		b, err := json.MarshalIndent(tr.Snapshot(), "", "  ")
+		if err == nil {
+			err = os.WriteFile(*tracePath, append(b, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "koalasim: writing trace:", err)
+			return
+		}
+		fmt.Printf("trace      : written to %s\n", *tracePath)
+	}
+	printSimStats := func() {
+		if collector == nil {
+			return
+		}
+		snap := collector.Snapshot()
+		fmt.Printf("sim events : %d scheduled, %d fired, %d canceled (peak pending %d)\n",
+			snap.EventsScheduled, snap.EventsFired, snap.EventsCanceled, snap.PendingPeak)
+		fmt.Printf("sim ops    : %d grow, %d shrink decisions\n", snap.GrowDecisions, snap.ShrinkDecisions)
+		fmt.Printf("sim horizon: %.1f sim-seconds\n", snap.SimHorizon)
+	}
 
 	if *stream {
 		var res *experiment.StreamResult
 		var err error
+		ctx := context.Background()
+		var execSpan string
+		if tr != nil {
+			name := "local"
+			if remote != nil {
+				name = remote.Name()
+			}
+			execSpan = tr.StartSpan(rootSpan, "execute", map[string]string{"backend": name})
+			ctx = obs.ContextWithSpanContext(ctx, obs.SpanContext{TraceID: tr.ID, SpanID: execSpan})
+			ctx = obs.ContextWithSpanSink(ctx, tr.Import)
+		}
 		if remote != nil {
-			res, err = remote.RunPoint(context.Background(), cfg, experiment.StreamHooks{})
+			res, err = remote.RunPoint(ctx, cfg, experiment.StreamHooks{})
 		} else {
 			res, err = experiment.RunStream(cfg)
+		}
+		if tr != nil {
+			tr.EndSpan(execSpan)
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "koalasim:", err)
@@ -171,10 +242,19 @@ func run() int {
 		}
 		fmt.Printf("mean util  : %.1f processors\n", sum.MeanUtilization)
 		fmt.Printf("ops/run    : %.1f malleability operations\n", sum.OpsPerRun)
+		printSimStats()
+		finishTrace()
 		return 0
 	}
 
+	var execSpan string
+	if tr != nil {
+		execSpan = tr.StartSpan(rootSpan, "execute", map[string]string{"backend": "local"})
+	}
 	res, err := experiment.Run(cfg)
+	if tr != nil {
+		tr.EndSpan(execSpan)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "koalasim:", err)
 		return 1
@@ -197,6 +277,8 @@ func run() int {
 	}
 	fmt.Printf("mean util  : %.1f processors\n", res.MeanUtilization())
 	fmt.Printf("ops/run    : %.1f malleability operations\n", res.TotalOps())
+	printSimStats()
+	finishTrace()
 
 	if *csvPath != "" {
 		f, err := os.Create(*csvPath)

@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"sync/atomic"
@@ -17,6 +18,18 @@ import (
 	"repro/internal/server"
 	"repro/internal/workload"
 )
+
+// testLogger routes a backend's structured log lines into the test log.
+func testLogger(t *testing.T) *slog.Logger {
+	return slog.New(slog.NewTextHandler(testWriter{t}, nil))
+}
+
+type testWriter struct{ t *testing.T }
+
+func (w testWriter) Write(p []byte) (int, error) {
+	w.t.Logf("%s", bytes.TrimRight(p, "\n"))
+	return len(p), nil
+}
 
 // testConfig is a seconds-fast point: 4 jobs, 2 replications, a
 // two-cluster grid, no background load.
@@ -178,7 +191,7 @@ func TestRemoteFailoverUnreachableWorker(t *testing.T) {
 	rb, err := backend.NewRemote(backend.RemoteOptions{
 		// A closed port: connection refused at submit.
 		Workers: []string{"http://127.0.0.1:1"},
-		Logf:    t.Logf,
+		Log:     testLogger(t),
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -221,7 +234,7 @@ func TestRemoteFailoverMidStreamDeath(t *testing.T) {
 	}))
 	defer dying.Close()
 
-	rb, err := backend.NewRemote(backend.RemoteOptions{Workers: []string{dying.URL}, Logf: t.Logf})
+	rb, err := backend.NewRemote(backend.RemoteOptions{Workers: []string{dying.URL}, Log: testLogger(t)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -282,7 +295,7 @@ func TestRemoteReadsOversizedSummaryLines(t *testing.T) {
 	}))
 	defer fat.Close()
 
-	rb, err := backend.NewRemote(backend.RemoteOptions{Workers: []string{fat.URL}, Logf: t.Logf})
+	rb, err := backend.NewRemote(backend.RemoteOptions{Workers: []string{fat.URL}, Log: testLogger(t)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -314,7 +327,7 @@ func TestRemoteSweepWithFailoverRace(t *testing.T) {
 	_, live := newWorker(t)
 	rb, err := backend.NewRemote(backend.RemoteOptions{
 		Workers: []string{live.URL, "http://127.0.0.1:1"},
-		Logf:    t.Logf,
+		Log:     testLogger(t),
 	})
 	if err != nil {
 		t.Fatal(err)

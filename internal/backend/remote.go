@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"io"
+	"log/slog"
 	"net/http"
 	"net/url"
 	"strings"
@@ -15,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/experiment"
+	"repro/internal/obs"
 )
 
 // ExecutePath is the internal worker endpoint Remote dispatches to: a
@@ -33,8 +35,12 @@ type RemoteOptions struct {
 	Client *http.Client
 	// Fallback executes points whose worker failed (default Local{}).
 	Fallback Backend
-	// Logf receives one line per dispatch failure/failover (optional).
-	Logf func(format string, args ...any)
+	// Log receives one structured record per dispatch failure/failover
+	// (optional; nil discards).
+	Log *slog.Logger
+	// Metrics, when non-nil, registers the per-worker dispatch RTT
+	// histogram on the shared registry.
+	Metrics *obs.Registry
 }
 
 // Remote shards experiment points across worker koalad daemons by the
@@ -48,7 +54,8 @@ type Remote struct {
 	workers  []string
 	client   *http.Client
 	fallback Backend
-	logf     func(format string, args ...any)
+	log      *slog.Logger
+	rtt      *obs.HistogramVec // dispatch round-trip per worker, nil without Metrics
 
 	dispatched atomic.Int64 // points sent to a worker
 	remoteDone atomic.Int64 // points completed by a worker
@@ -80,7 +87,7 @@ func NewRemote(opts RemoteOptions) (*Remote, error) {
 		workers:  workers,
 		client:   opts.Client,
 		fallback: opts.Fallback,
-		logf:     opts.Logf,
+		log:      opts.Log,
 	}
 	if r.client == nil {
 		r.client = &http.Client{}
@@ -88,8 +95,14 @@ func NewRemote(opts RemoteOptions) (*Remote, error) {
 	if r.fallback == nil {
 		r.fallback = Local{}
 	}
-	if r.logf == nil {
-		r.logf = func(string, ...any) {}
+	if r.log == nil {
+		r.log = obs.NopLogger()
+	}
+	if opts.Metrics != nil {
+		v := opts.Metrics.HistogramVec("koalad_dispatch_rtt_seconds",
+			"Dispatch round-trip per worker: POST to terminal event (failures included).",
+			"worker", obs.DefaultLatencyBuckets())
+		r.rtt = &v
 	}
 	return r, nil
 }
@@ -131,8 +144,9 @@ func (r *Remote) RunPoint(ctx context.Context, cfg experiment.Config, hooks expe
 		return nil, err
 	}
 	r.failovers.Add(1)
-	r.logf("backend: worker %s failed for %s (%s): %v; failing over to %s",
-		worker, cfg.Name, shortHash(hash), err, r.fallback.Name())
+	r.log.Warn("backend: worker failed; failing over",
+		"worker", worker, "config", cfg.Name, "hash", shortHash(hash),
+		"err", err, "fallback", r.fallback.Name())
 	return r.fallback.RunPoint(ctx, cfg, hooks)
 }
 
@@ -150,6 +164,7 @@ type wireEvent struct {
 	Type    string          `json:"type"`
 	Error   string          `json:"error"`
 	Summary json.RawMessage `json:"summary"`
+	Spans   []obs.Span      `json:"spans"`
 	experiment.Replication
 }
 
@@ -171,6 +186,15 @@ func (r *Remote) runOn(ctx context.Context, worker string, cfg experiment.Config
 		return nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	// Propagate the dispatch span identity so the worker's spans parent
+	// under this coordinator's trace (no-op without a span context).
+	if sc, ok := obs.SpanContextFrom(ctx); ok {
+		sc.InjectHTTP(req)
+	}
+	if r.rtt != nil {
+		start := time.Now()
+		defer func() { r.rtt.With(worker).Observe(time.Since(start).Seconds()) }()
+	}
 	resp, err := r.client.Do(req)
 	if err != nil {
 		return nil, err
@@ -213,6 +237,12 @@ func (r *Remote) runOn(ctx context.Context, worker string, cfg experiment.Config
 			}
 			if hooks.OnDone != nil {
 				hooks.OnDone(ev.Replication)
+			}
+		case "trace":
+			// The worker's execution spans, streamed just before the
+			// terminal event; deliver them to the coordinator's trace.
+			if sink := obs.SpanSinkFrom(ctx); sink != nil && len(ev.Spans) > 0 {
+				sink(ev.Spans)
 			}
 		case "summary":
 			// Strict summary decode: a worker speaking an incompatible

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/koala"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
@@ -18,6 +19,10 @@ type ManagerConfig struct {
 	// growth, "in order to leave always a minimal number of available
 	// processors to local users" (§V-B). Initial placement is not affected.
 	GrowthReserve int
+	// Stats, when non-nil, passively collects the manager's grow/shrink
+	// decisions (labeled by the run's policy at the consumer). It never
+	// influences decisions and records only simulated time.
+	Stats *obs.SimStats
 }
 
 // DefaultManagerConfig is FPSMA under PRA with no reserve.
@@ -163,6 +168,9 @@ func (m *Manager) growSiteAt(i, avail int) int {
 	after, _ := totalMsgs(jobs)
 	if sent := int(after - before); sent > 0 {
 		m.growMsgs.Inc(m.engine.Now(), sent)
+		if m.cfg.Stats != nil {
+			m.cfg.Stats.GrowDecisions(m.engine.Now(), sent)
+		}
 	}
 	if accepted == 0 {
 		m.declined++
@@ -216,6 +224,9 @@ func (m *Manager) shrinkSiteAt(i, need int) int {
 	_, after := totalMsgs(jobs)
 	if sent := int(after - before); sent > 0 {
 		m.shrinkMsgs.Inc(m.engine.Now(), sent)
+		if m.cfg.Stats != nil {
+			m.cfg.Stats.ShrinkDecisions(m.engine.Now(), sent)
+		}
 	}
 	if released == 0 {
 		m.declined++

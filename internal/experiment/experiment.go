@@ -14,6 +14,7 @@ import (
 	"repro/internal/gram"
 	"repro/internal/koala"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/runner"
 	"repro/internal/stats"
@@ -67,6 +68,14 @@ type Config struct {
 	NoBackground bool
 	// DisableMalleability runs plain KOALA (rigid baseline comparisons).
 	DisableMalleability bool
+	// SimStats, when non-nil, passively collects kernel and manager
+	// statistics (events scheduled/fired/canceled, peak pending,
+	// grow/shrink decisions) across the config's replications. It is
+	// observability only: it never changes results and is excluded from
+	// the fingerprint, so a config with and without it is the same
+	// experiment. Local execution only — it does not cross the wire to
+	// remote backends.
+	SimStats *obs.SimStats
 }
 
 func (c Config) withDefaults() Config {
@@ -184,9 +193,15 @@ func RunOnce(cfg Config, seed uint64) (*RunResult, error) {
 			Policy:        pol,
 			Approach:      apr,
 			GrowthReserve: cfg.GrowthReserve,
+			Stats:         cfg.SimStats,
 		},
 		DisableManager: cfg.DisableMalleability,
 	})
+	if cfg.SimStats != nil {
+		// Guarded here, not in SetStats: boxing a nil *SimStats in the
+		// interface would defeat the engine's nil check.
+		sys.Engine.SetStats(cfg.SimStats)
+	}
 	col := metrics.NewCollector(sys.Engine, sys.Scheduler, sys.Grid, cfg.SamplePeriod)
 
 	if cfg.Background != nil {

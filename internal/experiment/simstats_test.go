@@ -1,0 +1,76 @@
+package experiment
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/workload"
+)
+
+// TestRunOnceWithSimStats pins that attaching the passive collector (a)
+// leaves the run's results byte-identical to an unobserved run and (b)
+// actually populates the kernel and manager counters.
+func TestRunOnceWithSimStats(t *testing.T) {
+	spec := workload.Wm(1)
+	spec.Jobs = 30
+	base := Config{Name: "simstats", Workload: spec}
+
+	plain, err := RunOnce(base, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := base
+	cfg.SimStats = obs.NewSimStats()
+	observed, err := RunOnce(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(plain.Records, observed.Records) {
+		t.Fatal("job records differ with SimStats attached; the collector must be pure observation")
+	}
+	if plain.Makespan != observed.Makespan || plain.TotalOps != observed.TotalOps {
+		t.Fatalf("aggregates differ with SimStats attached: makespan %g vs %g, ops %g vs %g",
+			plain.Makespan, observed.Makespan, plain.TotalOps, observed.TotalOps)
+	}
+
+	snap := cfg.SimStats.Snapshot()
+	if snap.EventsScheduled == 0 || snap.EventsFired == 0 {
+		t.Fatalf("collector saw no kernel events: %+v", snap)
+	}
+	if snap.EventsFired > snap.EventsScheduled {
+		t.Fatalf("fired %d > scheduled %d", snap.EventsFired, snap.EventsScheduled)
+	}
+	if snap.PendingPeak <= 0 {
+		t.Fatalf("pending peak = %d, want > 0", snap.PendingPeak)
+	}
+	if snap.SimHorizon <= 0 {
+		t.Fatalf("sim horizon = %g, want > 0", snap.SimHorizon)
+	}
+	if observed.TotalOps > 0 && snap.GrowDecisions+snap.ShrinkDecisions == 0 {
+		t.Fatalf("run performed %g malleability ops but collector saw none", observed.TotalOps)
+	}
+}
+
+// TestSimStatsExcludedFromFingerprint pins that the collector is a runtime
+// attachment, not part of the experiment's identity.
+func TestSimStatsExcludedFromFingerprint(t *testing.T) {
+	spec := workload.Wm(1)
+	spec.Jobs = 30
+	base := Config{Name: "simstats", Workload: spec}
+	withStats := base
+	withStats.SimStats = obs.NewSimStats()
+	a, err := Fingerprint(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Fingerprint(withStats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("fingerprint changed when SimStats attached: %s vs %s", a, b)
+	}
+}

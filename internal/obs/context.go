@@ -1,0 +1,34 @@
+package obs
+
+import "context"
+
+type spanCtxKey struct{}
+type spanSinkKey struct{}
+
+// ContextWithSpanContext attaches the parent-span identity a backend
+// should propagate to remote executions.
+func ContextWithSpanContext(ctx context.Context, sc SpanContext) context.Context {
+	return context.WithValue(ctx, spanCtxKey{}, sc)
+}
+
+// SpanContextFrom reads the propagated span identity, if any.
+func SpanContextFrom(ctx context.Context) (SpanContext, bool) {
+	sc, ok := ctx.Value(spanCtxKey{}).(SpanContext)
+	return sc, ok && sc.TraceID != ""
+}
+
+// SpanSink receives spans recorded away from the trace that owns them —
+// a coordinator installs one so backend.Remote can deliver the spans a
+// worker streamed back alongside its result.
+type SpanSink func(spans []Span)
+
+// ContextWithSpanSink attaches a span sink.
+func ContextWithSpanSink(ctx context.Context, sink SpanSink) context.Context {
+	return context.WithValue(ctx, spanSinkKey{}, sink)
+}
+
+// SpanSinkFrom reads the span sink, or nil.
+func SpanSinkFrom(ctx context.Context) SpanSink {
+	sink, _ := ctx.Value(spanSinkKey{}).(SpanSink)
+	return sink
+}

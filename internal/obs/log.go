@@ -1,0 +1,47 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// Log formats accepted by NewLogger (the koalad -log-format values).
+const (
+	LogText = "text"
+	LogJSON = "json"
+)
+
+// ParseLevel maps a -log-level flag value onto a slog.Level.
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info", "":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("obs: unknown log level %q (want debug, info, warn or error)", s)
+}
+
+// NewLogger builds the process logger: text or JSON lines at the given
+// level. Every daemon and CLI builds its logger here so the attribute
+// vocabulary (run, hash, worker, trace fields) renders uniformly.
+func NewLogger(w io.Writer, format string, level slog.Level) (*slog.Logger, error) {
+	opts := &slog.HandlerOptions{Level: level}
+	switch format {
+	case LogText, "":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case LogJSON:
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	}
+	return nil, fmt.Errorf("obs: unknown log format %q (want text or json)", format)
+}
+
+// NopLogger returns a logger that discards everything — the default for
+// embedded servers (tests) that did not ask for output.
+func NopLogger() *slog.Logger { return slog.New(slog.DiscardHandler) }

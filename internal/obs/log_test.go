@@ -1,0 +1,69 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+func TestParseLevel(t *testing.T) {
+	cases := map[string]slog.Level{
+		"debug": slog.LevelDebug,
+		"info":  slog.LevelInfo,
+		"":      slog.LevelInfo,
+		"WARN":  slog.LevelWarn,
+		"error": slog.LevelError,
+	}
+	for in, want := range cases { //koalalint:ordered each case asserted independently
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Error("ParseLevel accepted an unknown level")
+	}
+}
+
+func TestNewLoggerJSON(t *testing.T) {
+	var buf bytes.Buffer
+	log, err := NewLogger(&buf, LogJSON, slog.LevelInfo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.Debug("hidden")
+	log.Info("run accepted", "run", "exp-1", "hash", "abcdef", "trace", "t1")
+	line := strings.TrimSpace(buf.String())
+	if strings.Count(line, "\n") != 0 {
+		t.Fatalf("want exactly one line, got %q", line)
+	}
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(line), &rec); err != nil {
+		t.Fatalf("log line is not JSON: %v (%q)", err, line)
+	}
+	if rec["msg"] != "run accepted" || rec["run"] != "exp-1" || rec["trace"] != "t1" {
+		t.Fatalf("record = %v", rec)
+	}
+}
+
+func TestNewLoggerText(t *testing.T) {
+	var buf bytes.Buffer
+	log, err := NewLogger(&buf, LogText, slog.LevelWarn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.Info("hidden")
+	log.Warn("queue full", "depth", 8)
+	out := buf.String()
+	if strings.Contains(out, "hidden") || !strings.Contains(out, "queue full") || !strings.Contains(out, "depth=8") {
+		t.Fatalf("text output = %q", out)
+	}
+}
+
+func TestNewLoggerBadFormat(t *testing.T) {
+	if _, err := NewLogger(&bytes.Buffer{}, "xml", slog.LevelInfo); err == nil {
+		t.Fatal("NewLogger accepted format xml")
+	}
+}

@@ -1,0 +1,15 @@
+// Package obs is the cluster's observability plane: run lifecycle
+// traces, latency histograms with Prometheus text exposition, slog
+// construction helpers and a passive simulation-statistics collector —
+// all on the standard library only.
+//
+// The package sits deliberately outside the deterministic simulation
+// core (see docs/determinism.md): traces, histograms and loggers read
+// the wall clock, which the simulation packages must never do. The one
+// component that crosses the boundary, SimStats, therefore follows the
+// opposite rule — it records only simulated time and event counts, and
+// its hook methods are forbidden (by the koalalint obshook analyzer)
+// from reading the wall clock or allocating, so the sim kernel can call
+// them on its hot path without perturbing results or the allocs/op
+// budget.
+package obs

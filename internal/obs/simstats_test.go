@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestSimStatsCounters(t *testing.T) {
+	s := NewSimStats()
+	// Two flushes from one engine: counts accumulate, peak and horizon
+	// fold in as maxima.
+	s.EngineTotals(2, 1, 0, 2, 3)
+	s.EngineTotals(1, 0, 1, 3, 5)
+	s.GrowDecisions(2, 4)
+	s.ShrinkDecisions(3, 1)
+
+	snap := s.Snapshot()
+	if snap.EventsScheduled != 3 || snap.EventsFired != 1 || snap.EventsCanceled != 1 {
+		t.Fatalf("counts = %+v", snap)
+	}
+	if snap.PendingPeak != 3 {
+		t.Errorf("peak = %d, want 3", snap.PendingPeak)
+	}
+	if snap.SimHorizon != 5 {
+		t.Errorf("horizon = %g, want 5", snap.SimHorizon)
+	}
+	if snap.GrowDecisions != 4 || snap.ShrinkDecisions != 1 {
+		t.Errorf("decisions = %+v", snap)
+	}
+	// A flush from a quieter engine must not regress the maxima.
+	s.EngineTotals(0, 0, 0, 1, 2)
+	snap = s.Snapshot()
+	if snap.PendingPeak != 3 || snap.SimHorizon != 5 {
+		t.Errorf("maxima regressed: peak=%d horizon=%g", snap.PendingPeak, snap.SimHorizon)
+	}
+}
+
+// The collector is shared by the concurrent replications of a run; the
+// totals must be exact under concurrency (the race detector covers the
+// safety half).
+func TestSimStatsConcurrent(t *testing.T) {
+	s := NewSimStats()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				s.EngineTotals(1, 1, 0, g+1, float64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	snap := s.Snapshot()
+	if snap.EventsScheduled != 8000 || snap.EventsFired != 8000 {
+		t.Fatalf("scheduled/fired = %d/%d, want 8000/8000", snap.EventsScheduled, snap.EventsFired)
+	}
+	if snap.PendingPeak != 8 {
+		t.Fatalf("peak = %d, want the max across engines, 8", snap.PendingPeak)
+	}
+	if snap.SimHorizon != 999 {
+		t.Fatalf("horizon = %g, want 999", snap.SimHorizon)
+	}
+}
+
+// Hook methods must not allocate (pinned again from the engine side in
+// internal/sim's TestStatsKeepsHotPathAllocationFree).
+func TestSimStatsHooksDoNotAllocate(t *testing.T) {
+	s := NewSimStats()
+	allocs := testing.AllocsPerRun(100, func() {
+		s.EngineTotals(2, 1, 1, 4, 7)
+		s.GrowDecisions(1, 2)
+		s.ShrinkDecisions(1, 2)
+	})
+	if allocs != 0 {
+		t.Fatalf("hooks allocated %.1f times per run, want 0", allocs)
+	}
+}

@@ -4,13 +4,27 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
 
 	"repro/internal/backend"
+	"repro/internal/obs"
 )
+
+// testLogger routes a backend's structured log lines into the test log.
+func testLogger(t *testing.T) *slog.Logger {
+	return slog.New(slog.NewTextHandler(testLogWriter{t}, nil))
+}
+
+type testLogWriter struct{ t *testing.T }
+
+func (w testLogWriter) Write(p []byte) (int, error) {
+	w.t.Logf("%s", bytes.TrimRight(p, "\n"))
+	return len(p), nil
+}
 
 // postExecute POSTs a config to the internal worker endpoint and
 // consumes the NDJSON response to its end.
@@ -97,7 +111,7 @@ func TestExecuteEndpoint(t *testing.T) {
 // what a single-node daemon produces for the same config.
 func TestDispatcherRoutesToWorker(t *testing.T) {
 	worker, workerTS := newTestServer(t, Options{Role: "worker"})
-	rb, err := backend.NewRemote(backend.RemoteOptions{Workers: []string{workerTS.URL}, Logf: t.Logf})
+	rb, err := backend.NewRemote(backend.RemoteOptions{Workers: []string{workerTS.URL}, Log: testLogger(t)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -178,11 +192,82 @@ func TestDispatcherRoutesToWorker(t *testing.T) {
 	}
 }
 
+// TestDispatchTracePropagation pins the cross-node half of the
+// observability plane: the coordinator's dispatch stamps its trace and
+// span identity on the execute request, the worker records its own
+// lifecycle into that trace ID, streams its spans back as a trace
+// event, and the coordinator's /trace then shows the worker's run span
+// parented under the coordinator's dispatch span.
+func TestDispatchTracePropagation(t *testing.T) {
+	_, workerTS := newTestServer(t, Options{Role: "worker"})
+	rb, err := backend.NewRemote(backend.RemoteOptions{Workers: []string{workerTS.URL}, Log: testLogger(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, coordTS := newTestServer(t, Options{Backend: rb, Role: "coordinator"})
+
+	sr, code := postConfig(t, coordTS, tinyConfig)
+	if code != http.StatusAccepted {
+		t.Fatalf("POST status = %d", code)
+	}
+	readEvents(t, coordTS, sr.ID)
+
+	var trace obs.TraceJSON
+	if err := json.Unmarshal(mustGet(t, coordTS, "/v1/experiments/"+sr.ID+"/trace"), &trace); err != nil {
+		t.Fatal(err)
+	}
+	var dispatch, coordRun, workerRun *obs.Span
+	for i, sp := range trace.Spans {
+		if sp.Name == "run" && sp.Parent == "" {
+			coordRun = &trace.Spans[i]
+		}
+	}
+	if coordRun == nil {
+		t.Fatalf("coordinator trace has no root run span: %+v", trace.Spans)
+	}
+	// Both daemons record a dispatch span (the worker's is imported);
+	// the coordinator's is the one under its root run span.
+	for i, sp := range trace.Spans {
+		if sp.Name == "dispatch" && sp.Parent == coordRun.ID {
+			dispatch = &trace.Spans[i]
+		}
+	}
+	if dispatch == nil {
+		t.Fatalf("coordinator trace missing its dispatch span: %+v", trace.Spans)
+	}
+	for i, sp := range trace.Spans {
+		if sp.Name == "run" && sp.Parent == dispatch.ID {
+			workerRun = &trace.Spans[i]
+		}
+	}
+	if workerRun == nil {
+		t.Fatalf("no worker run span parented under dispatch %s: %+v", dispatch.ID, trace.Spans)
+	}
+	// The worker's replications rode back too, parented under its own
+	// dispatch span, which sits under its run span.
+	workerReps := 0
+	byID := make(map[string]obs.Span, len(trace.Spans))
+	for _, sp := range trace.Spans {
+		byID[sp.ID] = sp
+	}
+	for _, sp := range trace.Spans {
+		if sp.Name != "replication" {
+			continue
+		}
+		if parent, ok := byID[sp.Parent]; ok && parent.Name == "dispatch" && parent.Parent == workerRun.ID {
+			workerReps++
+		}
+	}
+	if workerReps != 2 {
+		t.Fatalf("worker replication spans under its dispatch = %d, want 2", workerReps)
+	}
+}
+
 // TestDispatcherFailsOverToLocal: a coordinator whose only worker is
 // unreachable still completes the run locally, byte-identical to a
 // single-node daemon, and counts the failover.
 func TestDispatcherFailsOverToLocal(t *testing.T) {
-	rb, err := backend.NewRemote(backend.RemoteOptions{Workers: []string{"http://127.0.0.1:1"}, Logf: t.Logf})
+	rb, err := backend.NewRemote(backend.RemoteOptions{Workers: []string{"http://127.0.0.1:1"}, Log: testLogger(t)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -229,7 +314,7 @@ func TestDispatcherFailsOverToLocal(t *testing.T) {
 // produce. The run then completes via local failover, byte-identical.
 func TestSelfDispatchFailsOverInsteadOfDeadlocking(t *testing.T) {
 	s, ts := newTestServer(t, Options{})
-	rb, err := backend.NewRemote(backend.RemoteOptions{Workers: []string{ts.URL}, Logf: t.Logf})
+	rb, err := backend.NewRemote(backend.RemoteOptions{Workers: []string{ts.URL}, Log: testLogger(t)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -256,7 +341,7 @@ func TestSelfDispatchFailsOverInsteadOfDeadlocking(t *testing.T) {
 // daemon is (mis)configured with a remote backend, so a cycle of
 // coordinators cannot bounce a run around forever.
 func TestExecuteNeverReforwards(t *testing.T) {
-	rb, err := backend.NewRemote(backend.RemoteOptions{Workers: []string{"http://127.0.0.1:1"}, Logf: t.Logf})
+	rb, err := backend.NewRemote(backend.RemoteOptions{Workers: []string{"http://127.0.0.1:1"}, Log: testLogger(t)})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/experiment"
+	"repro/internal/obs"
 	"repro/internal/store"
 )
 
@@ -66,7 +67,7 @@ func (s *Server) Recover() (RecoveryStats, error) {
 		return rs, err
 	}
 	if left > 0 {
-		s.opts.Logf("koalad: recovery leaving %d older results on disk (retention bound %d)", left, s.opts.MaxRetained)
+		s.log.Info("koalad: recovery leaving older results on disk", "left", left, "retention", s.opts.MaxRetained)
 	}
 	for _, e := range entries {
 		if run := s.adoptEntry(e); run != nil {
@@ -121,7 +122,7 @@ func (s *Server) Recover() (RecoveryStats, error) {
 		}
 		run, err := s.reenqueue(rec)
 		if err != nil {
-			s.opts.Logf("koalad: recovery dropping run %s (%s): %v", rec.ID, shortHash(rec.Hash), err)
+			s.log.Warn("koalad: recovery dropping run", "run", rec.ID, "hash", shortHash(rec.Hash), "err", err)
 			rs.Dropped++
 			continue
 		}
@@ -139,7 +140,7 @@ func (s *Server) Recover() (RecoveryStats, error) {
 	// a fast run's started/terminal appends would be erased by a
 	// compaction built from the pre-spawn snapshot.
 	if err := s.store.Journal().Compact(keep); err != nil {
-		s.opts.Logf("koalad: recovery journal compaction failed: %v", err)
+		s.log.Warn("koalad: recovery journal compaction failed", "err", err)
 	} else {
 		s.compactions.Add(1)
 	}
@@ -169,12 +170,13 @@ func (s *Server) reenqueue(rec store.Record) (*Run, error) {
 	}
 	s.admitMu.Lock()
 	run := s.registry.Adopt(rec.ID, rec.Hash, cfg, rec.Spec, SourceLive)
+	run.beginTrace(obs.SpanContext{})
 	s.cache.Store(run)
 	s.queued.Add(1)
 	s.wg.Add(1)
 	s.admitMu.Unlock()
 	run.append(acceptedEvent{Type: "accepted", ID: run.ID, Name: run.Name, Hash: run.Hash, Runs: cfg.Runs}, "")
-	s.opts.Logf("koalad: %s re-enqueued after restart (%s)", run.ID, shortHash(run.Hash))
+	s.log.Info("koalad: run re-enqueued after restart", "run", run.ID, "hash", shortHash(run.Hash))
 	return run, nil
 }
 
@@ -197,7 +199,7 @@ func (s *Server) adoptStored(hash string) *Run {
 func (s *Server) adoptEntry(e *store.Entry) *Run {
 	sum, err := experiment.DecodeSummary(e.Summary)
 	if err != nil {
-		s.opts.Logf("koalad: ignoring undecodable store entry %s: %v", shortHash(e.Hash), err)
+		s.log.Warn("koalad: ignoring undecodable store entry", "hash", shortHash(e.Hash), "err", err)
 		return nil
 	}
 	run := s.registry.Adopt(e.ID, e.Hash, experiment.Config{Name: e.Name}, nil, SourceStore)
@@ -218,11 +220,11 @@ func (s *Server) persistResult(run *Run, sum experiment.StreamSummary) {
 	}
 	b, err := experiment.EncodeSummary(sum)
 	if err != nil {
-		s.opts.Logf("koalad: %s summary not encodable, result stays memory-only: %v", run.ID, err)
+		s.log.Warn("koalad: summary not encodable, result stays memory-only", "run", run.ID, "err", err)
 		return
 	}
 	if err := s.store.Put(store.Entry{Hash: run.Hash, ID: run.ID, Name: run.Name, Summary: b}); err != nil {
-		s.opts.Logf("koalad: %s result not persisted: %v", run.ID, err)
+		s.log.Warn("koalad: result not persisted", "run", run.ID, "err", err)
 		return
 	}
 	s.journalAppend(store.Record{Op: store.OpCompleted, ID: run.ID, Hash: run.Hash})
@@ -238,7 +240,7 @@ func (s *Server) journalAppend(rec store.Record) {
 	}
 	rec.TimeUnixNano = time.Now().UnixNano()
 	if err := s.store.Journal().Append(rec); err != nil {
-		s.opts.Logf("koalad: journal append failed: %v", err)
+		s.log.Warn("koalad: journal append failed", "err", err)
 	}
 	if rec.Op == store.OpCompleted || rec.Op == store.OpFailed {
 		s.maybeCompactJournal()
@@ -285,9 +287,9 @@ func (s *Server) maybeCompactJournal() {
 		})
 	}
 	if err := j.Compact(keep); err != nil {
-		s.opts.Logf("koalad: journal compaction failed: %v", err)
+		s.log.Warn("koalad: journal compaction failed", "err", err)
 		return
 	}
 	s.compactions.Add(1)
-	s.opts.Logf("koalad: journal compacted to %d in-flight runs", len(keep))
+	s.log.Info("koalad: journal compacted", "in_flight", len(keep))
 }

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/experiment"
+	"repro/internal/obs"
 )
 
 // Status is a run's lifecycle state.
@@ -68,6 +69,16 @@ type Run struct {
 	submittedAt time.Time
 	startedAt   time.Time
 	finishedAt  time.Time
+
+	// trace collects the run's lifecycle spans (observability only,
+	// like the timestamps). Always non-nil; beginTrace opens the root
+	// span on freshly admitted and re-enqueued runs, while restored
+	// runs keep an empty trace (their spans died with the process that
+	// simulated them). runSpan/queueSpan are set by beginTrace before
+	// the run is visible and never change.
+	trace     *obs.Trace
+	runSpan   string
+	queueSpan string
 }
 
 func newRun(id, hash string, cfg experiment.Config, source string) *Run {
@@ -80,7 +91,32 @@ func newRun(id, hash string, cfg experiment.Config, source string) *Run {
 		status:      StatusQueued,
 		changed:     make(chan struct{}),
 		submittedAt: time.Now(),
+		trace:       obs.NewTrace(""),
 	}
+}
+
+// beginTrace opens the run's lifecycle spans: the root "run" span, the
+// instantaneous "admit" point, and the "queue" span that stays open
+// until the run takes a concurrency slot. A non-empty parent is the
+// propagated identity of a coordinator's dispatch span — the run then
+// records into the coordinator's trace ID with its root parented under
+// that dispatch, which is how a worker's spans nest correctly when the
+// coordinator imports them.
+func (r *Run) beginTrace(parent obs.SpanContext) {
+	if parent.TraceID != "" {
+		r.trace = obs.NewTrace(parent.TraceID)
+	}
+	r.runSpan = r.trace.StartSpan(parent.SpanID, "run",
+		map[string]string{"id": r.ID, "name": r.Name, "hash": shortHash(r.Hash)})
+	r.trace.Point(r.runSpan, "admit", nil)
+	r.queueSpan = r.trace.StartSpan(r.runSpan, "queue", nil)
+}
+
+// endTrace closes whatever lifecycle spans are still open; every
+// terminal path calls it (EndSpan on an already-ended span is a no-op).
+func (r *Run) endTrace() {
+	r.trace.EndSpan(r.queueSpan)
+	r.trace.EndSpan(r.runSpan)
 }
 
 // append marshals an event onto the log and wakes subscribers. The
@@ -339,4 +375,14 @@ type errorEvent struct {
 	Type  string `json:"type"` // "error"
 	ID    string `json:"id"`
 	Error string `json:"error"`
+}
+
+// traceEvent carries a completed run's spans, appended just before the
+// terminal summary. Over the worker execute endpoint this is how a
+// worker's spans travel back to the coordinator's trace; public
+// followers may skip it like any unknown event type.
+type traceEvent struct {
+	Type  string     `json:"type"` // "trace"
+	ID    string     `json:"id"`
+	Spans []obs.Span `json:"spans"`
 }

@@ -15,15 +15,18 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"runtime/debug"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/backend"
 	"repro/internal/experiment"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/store"
 )
@@ -67,8 +70,13 @@ type Options struct {
 	// Role labels the daemon's place in a multi-node topology
 	// ("coordinator", "worker"); reported on /healthz.
 	Role string
-	// Logf receives one line per lifecycle transition (optional).
-	Logf func(format string, args ...any)
+	// Log receives one structured record per lifecycle transition
+	// (optional; nil discards).
+	Log *slog.Logger
+	// Metrics is the registry the daemon's histograms and gauges land
+	// on; share one instance with the store and backend so /metrics
+	// scrapes the whole process. Nil creates a private registry.
+	Metrics *obs.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -84,8 +92,11 @@ func (o Options) withDefaults() Options {
 	if o.JournalCompactEvery <= 0 {
 		o.JournalCompactEvery = 256
 	}
-	if o.Logf == nil {
-		o.Logf = func(string, ...any) {}
+	if o.Log == nil {
+		o.Log = obs.NopLogger()
+	}
+	if o.Metrics == nil {
+		o.Metrics = obs.NewRegistry()
 	}
 	return o
 }
@@ -93,9 +104,19 @@ func (o Options) withDefaults() Options {
 // Server is the koalad core, embeddable in tests via Handler().
 type Server struct {
 	opts     Options
+	log      *slog.Logger
+	metrics  *obs.Registry
 	registry *Registry
 	cache    *Cache
 	store    *store.Store // nil = in-memory only
+
+	// Latency histograms (Prometheus exposition via /metrics).
+	queueWait     *obs.Histogram // admission -> concurrency slot
+	runDuration   *obs.Histogram // slot -> terminal event
+	followerStall *obs.Histogram // single event write on a follower stream
+
+	followers           *obs.Gauge   // NDJSON streams currently attached
+	followerDisconnects *obs.Counter // followers that left before the terminal event
 
 	// backend executes admitted runs; local is the in-process backend
 	// that worker-endpoint runs (and Remote failovers) use.
@@ -142,6 +163,8 @@ func New(opts Options) *Server {
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		opts:     opts,
+		log:      opts.Log,
+		metrics:  opts.Metrics,
 		registry: NewRegistry(),
 		cache:    NewCache(),
 		store:    opts.Store,
@@ -155,6 +178,16 @@ func New(opts Options) *Server {
 	if s.backend == nil {
 		s.backend = s.local
 	}
+	s.queueWait = s.metrics.Histogram("koalad_queue_wait_seconds",
+		"Time from admission to taking a concurrency slot.", obs.DefaultLatencyBuckets())
+	s.runDuration = s.metrics.Histogram("koalad_run_duration_seconds",
+		"Time from taking a slot to the terminal event.", obs.DefaultLatencyBuckets())
+	s.followerStall = s.metrics.Histogram("koalad_follower_write_stall_seconds",
+		"Time writing one event to an NDJSON follower (slow consumers stall here).", obs.DefaultLatencyBuckets())
+	s.followers = s.metrics.Gauge("koalad_event_followers",
+		"NDJSON event streams currently attached.")
+	s.followerDisconnects = s.metrics.Counter("koalad_follower_disconnects_total",
+		"Followers that disconnected before the run's terminal event.")
 	return s
 }
 
@@ -169,6 +202,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/experiments", s.handleList)
 	mux.HandleFunc("GET /v1/experiments/{id}", s.handleGet)
 	mux.HandleFunc("GET /v1/experiments/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/experiments/{id}/trace", s.handleTrace)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	if s.opts.EnablePprof {
@@ -266,8 +300,12 @@ func (s *Server) decodeSubmission(w http.ResponseWriter, r *http.Request) (spec 
 // classified under the admission lock (counters and the HTTP response
 // must agree, even if the run finishes in between). localOnly pins a
 // freshly admitted run to the in-process backend (the worker execute
-// path must never re-forward).
-func (s *Server) admit(spec *experiment.ConfigSpec, cfg experiment.Config, hash string, localOnly bool) (run *Run, status Status, created bool, err error) {
+// path must never re-forward). parent, when set, is the propagated
+// span identity of the coordinator dispatch that submitted this run;
+// a freshly admitted run then records its spans into the
+// coordinator's trace (same trace ID, root parented under the
+// dispatch span).
+func (s *Server) admit(spec *experiment.ConfigSpec, cfg experiment.Config, hash string, localOnly bool, parent obs.SpanContext) (run *Run, status Status, created bool, err error) {
 	s.admitMu.Lock()
 	if existing := s.cache.Lookup(hash); existing != nil {
 		status := existing.Status()
@@ -277,10 +315,10 @@ func (s *Server) admit(spec *experiment.ConfigSpec, cfg experiment.Config, hash 
 			if existing.Source == SourceStore {
 				s.storeHits.Add(1)
 			}
-			s.opts.Logf("koalad: %s cache hit (%s)", existing.ID, hash[:12])
+			s.log.Info("koalad: cache hit", "run", existing.ID, "hash", shortHash(hash))
 		} else {
 			s.cache.countCoalesce()
-			s.opts.Logf("koalad: %s coalesced identical submission (%s)", existing.ID, hash[:12])
+			s.log.Info("koalad: coalesced identical submission", "run", existing.ID, "hash", shortHash(hash))
 		}
 		return existing, status, false, nil
 	}
@@ -295,7 +333,7 @@ func (s *Server) admit(spec *experiment.ConfigSpec, cfg experiment.Config, hash 
 			s.admitMu.Unlock()
 			s.cache.countHit()
 			s.storeHits.Add(1)
-			s.opts.Logf("koalad: %s store hit (%s)", run.ID, hash[:12])
+			s.log.Info("koalad: store hit", "run", run.ID, "hash", shortHash(hash))
 			return run, StatusDone, false, nil
 		}
 	}
@@ -324,6 +362,7 @@ func (s *Server) admit(spec *experiment.ConfigSpec, cfg experiment.Config, hash 
 	s.cache.countMiss()
 	run = s.registry.Create(hash, cfg, specJSON)
 	run.localOnly = localOnly // before execution starts; only execute reads it
+	run.beginTrace(parent)    // before the run is visible to any reader
 	s.cache.Store(run)
 	s.queued.Add(1)
 	s.wg.Add(1) // inside the lock, so Shutdown's Wait covers this run
@@ -333,7 +372,8 @@ func (s *Server) admit(spec *experiment.ConfigSpec, cfg experiment.Config, hash 
 	// holds a run ID, a crash must recover the run.
 	s.journalAppend(store.Record{Op: store.OpSubmitted, ID: run.ID, Hash: hash, Name: run.Name, Spec: run.specJSON})
 	run.append(acceptedEvent{Type: "accepted", ID: run.ID, Name: run.Name, Hash: hash, Runs: cfg.Runs}, "")
-	s.opts.Logf("koalad: %s accepted %s (%d runs, hash %s)", run.ID, run.Name, cfg.Runs, hash[:12])
+	s.log.Info("koalad: run accepted",
+		"run", run.ID, "name", run.Name, "runs", cfg.Runs, "hash", shortHash(hash), "trace", run.trace.ID)
 	go s.execute(run)
 	return run, run.Status(), true, nil
 }
@@ -360,7 +400,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	run, status, created, err := s.admit(spec, cfg, hash, false)
+	run, status, created, err := s.admit(spec, cfg, hash, false, obs.SpanContext{})
 	if err != nil {
 		writeAdmitError(w, err)
 		return
@@ -396,7 +436,11 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	run, status, created, err := s.admit(spec, cfg, hash, true)
+	// The coordinator's dispatch stamps its trace/span identity on the
+	// request; executing under it parents this worker's spans into the
+	// coordinator's trace.
+	parent, _ := obs.ExtractHTTP(r)
+	run, status, created, err := s.admit(spec, cfg, hash, true, parent)
 	if err != nil {
 		// 503/429 here bounce the shard back to the coordinator, which
 		// fails it over to its own local backend.
@@ -417,7 +461,7 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 	s.workerExecutes.Add(1)
 	if !created && status == StatusDone {
 		s.workerDeduped.Add(1)
-		s.opts.Logf("koalad: %s deduped execute request (%s)", run.ID, hash[:12])
+		s.log.Info("koalad: deduped execute request", "run", run.ID, "hash", shortHash(hash))
 	}
 	s.streamRun(w, r, run)
 }
@@ -438,7 +482,7 @@ func (s *Server) retire(run *Run) {
 		if old := s.registry.Get(id); old != nil {
 			s.cache.Evict(old)
 			s.registry.Remove(id)
-			s.opts.Logf("koalad: %s evicted (retention bound %d)", id, s.opts.MaxRetained)
+			s.log.Info("koalad: run evicted", "run", id, "retention", s.opts.MaxRetained)
 		}
 	}
 }
@@ -455,8 +499,9 @@ func (s *Server) execute(run *Run) {
 			s.cache.Evict(run)
 			s.runsFailed.Add(1)
 			run.fail(fmt.Sprintf("run panicked: %v", p))
+			run.endTrace()
 			s.journalAppend(store.Record{Op: store.OpFailed, ID: run.ID, Hash: run.Hash, Error: fmt.Sprintf("run panicked: %v", p)})
-			s.opts.Logf("koalad: %s panicked: %v\n%s", run.ID, p, debug.Stack())
+			s.log.Error("koalad: run panicked", "run", run.ID, "panic", p, "stack", string(debug.Stack()))
 		}
 	}()
 
@@ -468,33 +513,25 @@ func (s *Server) execute(run *Run) {
 		s.cache.Evict(run)
 		s.runsFailed.Add(1)
 		run.fail("server shut down before the run started")
+		run.endTrace()
 		// Deliberately NOT journaled as failed: a run aborted by shutdown
 		// is exactly what recovery should re-enqueue on the next start.
 		return
 	}
 	defer func() { <-s.sem }()
+	run.trace.EndSpan(run.queueSpan)
+	s.queueWait.Observe(time.Since(run.submittedAt).Seconds())
 
 	s.activeRuns.Add(1)
 	defer s.activeRuns.Add(-1)
 	run.setStatus(StatusRunning)
+	runStart := time.Now()
+	defer func() { s.runDuration.Observe(time.Since(runStart).Seconds()) }()
 	s.journalAppend(store.Record{Op: store.OpStarted, ID: run.ID, Hash: run.Hash})
 	if s.blockRuns != nil {
 		<-s.blockRuns
 	}
 
-	var started, finished atomic.Int64
-	hooks := experiment.StreamHooks{
-		OnStart: func(int, uint64) {
-			started.Add(1)
-			s.activeSims.Add(1)
-		},
-		OnDone: func(rep experiment.Replication) {
-			finished.Add(1)
-			s.activeSims.Add(-1)
-			s.repsDone.Add(1)
-			run.append(repEvent{Type: "replication", ID: run.ID, Replication: rep}, "")
-		},
-	}
 	// The dispatcher seam: queued runs flow to the configured backend
 	// (in-process pool, or sharded out to worker daemons), except runs
 	// admitted through the worker execute endpoint, which are pinned
@@ -503,7 +540,40 @@ func (s *Server) execute(run *Run) {
 	if run.localOnly {
 		b = s.local
 	}
-	res, err := b.RunPoint(s.ctx, run.cfg, hooks)
+	// The dispatch span covers the backend execution; its identity rides
+	// the context so a remote backend can stamp it on the execute request
+	// (the worker's spans then parent under it), and the sink receives
+	// the spans a worker streams back.
+	dispatchSpan := run.trace.StartSpan(run.runSpan, "dispatch", map[string]string{"backend": b.Name()})
+	ctx := obs.ContextWithSpanContext(s.ctx, obs.SpanContext{TraceID: run.trace.ID, SpanID: dispatchSpan})
+	ctx = obs.ContextWithSpanSink(ctx, run.trace.Import)
+
+	var started, finished atomic.Int64
+	var repMu sync.Mutex
+	repSpans := make(map[int]string) // replication index -> open span ID
+	hooks := experiment.StreamHooks{
+		OnStart: func(rep int, _ uint64) {
+			started.Add(1)
+			s.activeSims.Add(1)
+			id := run.trace.StartSpan(dispatchSpan, "replication", map[string]string{"rep": strconv.Itoa(rep)})
+			repMu.Lock()
+			repSpans[rep] = id
+			repMu.Unlock()
+		},
+		OnDone: func(rep experiment.Replication) {
+			finished.Add(1)
+			s.activeSims.Add(-1)
+			s.repsDone.Add(1)
+			repMu.Lock()
+			id := repSpans[rep.Rep]
+			delete(repSpans, rep.Rep)
+			repMu.Unlock()
+			run.trace.EndSpan(id)
+			run.append(repEvent{Type: "replication", ID: run.ID, Replication: rep}, "")
+		},
+	}
+	res, err := b.RunPoint(ctx, run.cfg, hooks)
+	run.trace.EndSpan(dispatchSpan)
 	// Replications aborted mid-flight never reach OnDone; return their
 	// gauge contribution.
 	s.activeSims.Add(finished.Load() - started.Load())
@@ -511,23 +581,33 @@ func (s *Server) execute(run *Run) {
 		s.cache.Evict(run)
 		s.runsFailed.Add(1)
 		run.fail(err.Error())
+		run.endTrace()
 		if s.ctx.Err() == nil {
 			// A real failure is journaled terminal; a shutdown abort is
 			// left in-flight so the next start re-runs it.
 			s.journalAppend(store.Record{Op: store.OpFailed, ID: run.ID, Hash: run.Hash, Error: err.Error()})
 		}
-		s.opts.Logf("koalad: %s failed: %v", run.ID, err)
+		s.log.Warn("koalad: run failed", "run", run.ID, "err", err)
 		return
 	}
 	sum := res.Summary()
 	s.runsDone.Add(1)
+	// Close the trace and append it to the event log before the terminal
+	// summary: a coordinator following this run over the execute endpoint
+	// imports these spans into its own trace, and its stream reader stops
+	// at the summary event. Public followers see the same trace event and
+	// may ignore it. On a deduped re-execute the logged event replays
+	// with the original run's spans — a documented artifact.
+	run.endTrace()
+	run.append(traceEvent{Type: "trace", ID: run.ID, Spans: run.trace.Snapshot().Spans}, "")
 	// Terminal in memory first: when the OpCompleted append triggers a
 	// journal compaction, the run must already read as done, or the
 	// compaction would keep its submitted record and erase the
 	// completed one (a crash would then needlessly re-run it).
 	run.finish(sum)
 	s.persistResult(run, sum)
-	s.opts.Logf("koalad: %s done (%d jobs, %d replications)", run.ID, res.Jobs(), len(res.Replications))
+	s.log.Info("koalad: run done",
+		"run", run.ID, "jobs", res.Jobs(), "replications", len(res.Replications), "trace", run.trace.ID)
 }
 
 // listItem is one row of GET /v1/experiments: enough to find a run and
@@ -608,12 +688,22 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 
 // streamRun writes a run's event log as NDJSON — replay, then follow
 // until the terminal event — shared by the public events endpoint and
-// the worker execute endpoint.
+// the worker execute endpoint. Followers are counted on a gauge while
+// attached; one that leaves before the terminal event (client close,
+// write error) increments the disconnect counter.
 func (s *Server) streamRun(w http.ResponseWriter, r *http.Request, run *Run) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.Header().Set("Cache-Control", "no-store")
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
+
+	s.followers.Add(1)
+	defer s.followers.Add(-1)
+	run.trace.Point(run.runSpan, "stream-follower", map[string]string{"remote": r.RemoteAddr})
+	disconnected := func() {
+		s.followerDisconnects.Inc()
+		s.log.Info("koalad: follower disconnected before terminal event", "run", run.ID, "remote", r.RemoteAddr)
+	}
 
 	i := 0
 	for {
@@ -622,12 +712,16 @@ func (s *Server) streamRun(w http.ResponseWriter, r *http.Request, run *Run) {
 			// Write the newline separately: append(ev, '\n') would mutate
 			// the stored event's backing array (json.Marshal leaves spare
 			// capacity), racing concurrent subscribers to the same run.
+			start := time.Now()
 			if _, err := w.Write(ev); err != nil {
+				disconnected()
 				return
 			}
 			if _, err := w.Write([]byte{'\n'}); err != nil {
+				disconnected()
 				return
 			}
+			s.followerStall.Observe(time.Since(start).Seconds())
 		}
 		i += len(evs)
 		if len(evs) > 0 && flusher != nil {
@@ -639,9 +733,23 @@ func (s *Server) streamRun(w http.ResponseWriter, r *http.Request, run *Run) {
 		select {
 		case <-changed:
 		case <-r.Context().Done():
+			disconnected()
 			return
 		}
 	}
+}
+
+// handleTrace serves the run's span collection: every lifecycle phase
+// this daemon recorded plus any spans imported from workers. Traces are
+// wall-clock observability — deliberately absent from the event log's
+// deterministic surface.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	run := s.registry.Get(r.PathValue("id"))
+	if run == nil {
+		writeError(w, http.StatusNotFound, "no such experiment")
+		return
+	}
+	writeJSON(w, http.StatusOK, run.trace.Snapshot())
 }
 
 // healthzResponse is the /healthz body.
@@ -653,6 +761,8 @@ type healthzResponse struct {
 	UptimeSeconds float64 `json:"uptime_seconds"`
 	ActiveRuns    int64   `json:"active_runs"`
 	QueuedRuns    int64   `json:"queued_runs"`
+	InFlightSims  int64   `json:"in_flight_replications"`
+	Followers     int64   `json:"followers"`
 	Runs          int     `json:"runs"`
 	CacheSize     int     `json:"cache_size"`
 }
@@ -670,6 +780,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		UptimeSeconds: time.Since(s.started).Seconds(),
 		ActiveRuns:    s.activeRuns.Load(),
 		QueuedRuns:    s.queued.Load(),
+		InFlightSims:  s.activeSims.Load(),
+		Followers:     s.followers.Value(),
 		Runs:          s.registry.Len(),
 		CacheSize:     s.cache.Len(),
 	})
@@ -729,6 +841,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	for _, m := range metrics {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %v\n", m.name, m.help, m.name, m.typ, m.name, m.value)
 	}
+	// Registry-backed families (latency histograms, follower gauge,
+	// dispatch RTT, store latencies) render after the scalar metrics;
+	// names never overlap the hand-rolled list above.
+	s.metrics.Render(w)
 }
 
 func effectiveWorkers(parallelism int) int {

@@ -110,15 +110,22 @@ func TestEndToEndSubmitStreamAndCacheHit(t *testing.T) {
 	if events[0]["type"] != "accepted" {
 		t.Fatalf("first event = %v", events[0])
 	}
-	reps := 0
+	reps, traces := 0, 0
 	for _, ev := range events[1 : len(events)-1] {
-		if ev["type"] != "replication" {
+		switch ev["type"] {
+		case "replication":
+			reps++
+		case "trace":
+			traces++
+		default:
 			t.Fatalf("mid-stream event = %v", ev)
 		}
-		reps++
 	}
 	if reps != 2 {
 		t.Fatalf("replication events = %d, want 2", reps)
+	}
+	if traces != 1 {
+		t.Fatalf("trace events = %d, want 1 before the terminal summary", traces)
 	}
 	last := events[len(events)-1]
 	if last["type"] != "summary" {

@@ -27,6 +27,24 @@ type Handler interface {
 	OnEvent(op int)
 }
 
+// Stats is the engine's passive observability sink (obs.SimStats
+// implements it). The engine accounts kernel activity in plain integer
+// counters — the event hot path carries no observability branches or
+// calls at all — and folds the totals into the sink once per
+// Run/RunUntil return, nil-guarded, on the cold path. Implementations
+// must not allocate, must not read the wall clock, and must never
+// influence the simulation — the arguments carry only simulated time
+// and counts. The koalalint obshook analyzer enforces the call-site
+// guard and the implementation constraints.
+type Stats interface {
+	// EngineTotals folds one Run/RunUntil stretch into the collector.
+	// scheduled, fired and canceled are deltas since this engine's
+	// previous flush; pendingPeak (this engine's high-water queue
+	// length) and now (its virtual clock) are absolutes a collector
+	// should fold in as maxima.
+	EngineTotals(scheduled, fired, canceled uint64, pendingPeak int, now float64)
+}
+
 // Event is a scheduled callback. It is returned by the scheduling methods so
 // that callers may cancel it before it fires.
 //
@@ -59,8 +77,10 @@ func (e *Event) Cancel() {
 	}
 	e.canceled = true
 	if e.index >= 0 {
-		e.engine.heapRemove(e.index)
-		e.engine.recycle(e)
+		eng := e.engine
+		eng.heapRemove(e.index)
+		eng.recycle(e)
+		eng.canceled++
 	}
 }
 
@@ -195,10 +215,36 @@ type Engine struct {
 	stopped bool
 	fired   uint64
 
+	// Kernel accounting for the stats sink: plain counters kept
+	// unconditionally (integer arithmetic, no branches on e.stats), so
+	// observability costs the event hot path nothing. canceled counts
+	// Cancel calls that removed a queued event; pendingPeak is the
+	// high-water queue length. flushedSched/Fired/Canceled mark what the
+	// sink has already been told, so repeated flushes report deltas.
+	canceled                                  uint64
+	pendingPeak                               int
+	flushedSched, flushedFired, flushedCancel uint64
+
 	// free holds fired/canceled events available for reuse; arena is the
 	// current allocation block the free list refills from.
 	free  []*Event
 	arena []Event
+
+	// stats, when non-nil, receives the kernel counters when
+	// Run/RunUntil return. It is pure observability: it must never
+	// change the simulation (see the Stats contract).
+	stats Stats
+}
+
+// SetStats installs the observability hook. Callers must pass a
+// non-nil implementation (pass nothing to leave collection off): a nil
+// concrete pointer boxed in the interface would defeat the engine's
+// nil guard and panic on the first flush.
+func (e *Engine) SetStats(st Stats) {
+	if st == nil {
+		panic("sim: SetStats with nil Stats; leave the hook unset instead")
+	}
+	e.stats = st
 }
 
 // New returns an Engine starting at virtual time 0.
@@ -263,6 +309,9 @@ func (e *Engine) schedule(t float64) *Event {
 	ev.canceled = false
 	e.seq++
 	e.heapPush(ev)
+	if len(e.queue) > e.pendingPeak {
+		e.pendingPeak = len(e.queue)
+	}
 	return ev
 }
 
@@ -353,7 +402,20 @@ func (e *Engine) Run() float64 {
 	e.stopped = false
 	for !e.stopped && e.step() {
 	}
+	e.flushStats()
 	return e.now
+}
+
+// flushStats folds the kernel counters into the stats sink: deltas for
+// the event counts, absolutes for the peak and the clock. Called when
+// Run/RunUntil return — never per event — so observability costs the
+// hot path nothing even when a collector is attached.
+func (e *Engine) flushStats() {
+	if e.stats != nil {
+		e.stats.EngineTotals(e.seq-e.flushedSched, e.fired-e.flushedFired,
+			e.canceled-e.flushedCancel, e.pendingPeak, e.now)
+		e.flushedSched, e.flushedFired, e.flushedCancel = e.seq, e.fired, e.canceled
+	}
 }
 
 // RunUntil executes events with time ≤ horizon, then advances the clock to
@@ -372,5 +434,6 @@ func (e *Engine) RunUntil(horizon float64) float64 {
 	if e.now < horizon {
 		e.now = horizon
 	}
+	e.flushStats()
 	return e.now
 }

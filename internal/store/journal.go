@@ -70,7 +70,7 @@ func openJournal(path string, opts Options) (*Journal, error) {
 		if err := os.Truncate(path, int64(cut)); err != nil {
 			return nil, fmt.Errorf("store: repairing journal tail: %w", err)
 		}
-		opts.Logf("store: journal had an incomplete tail (%d bytes), truncated", len(b)-cut)
+		opts.Log.Warn("store: journal had an incomplete tail, truncated", "bytes", len(b)-cut)
 		b = b[:cut]
 	}
 	j.lines = bytes.Count(b, []byte{'\n'})
@@ -156,7 +156,7 @@ func (j *Journal) Replay() ([]Record, error) {
 		nl := bytes.IndexByte(b, '\n')
 		if nl < 0 {
 			j.skipped++
-			j.opts.Logf("store: journal replay skipping partial tail (%d bytes)", len(b))
+			j.opts.Log.Warn("store: journal replay skipping partial tail", "bytes", len(b))
 			break
 		}
 		line := b[:nl]
@@ -167,12 +167,12 @@ func (j *Journal) Replay() ([]Record, error) {
 		var rec Record
 		if err := json.Unmarshal(line, &rec); err != nil {
 			j.skipped++
-			j.opts.Logf("store: journal replay skipping undecodable line: %v", err)
+			j.opts.Log.Warn("store: journal replay skipping undecodable line", "err", err)
 			continue
 		}
 		if rec.Schema != SchemaVersion {
 			j.skipped++
-			j.opts.Logf("store: journal replay skipping record with schema %d (want %d)", rec.Schema, SchemaVersion)
+			j.opts.Log.Warn("store: journal replay skipping record with unknown schema", "schema", rec.Schema, "want", SchemaVersion)
 			continue
 		}
 		out = append(out, rec)

@@ -1,11 +1,15 @@
 package store
 
 import (
+	"bytes"
 	"encoding/json"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/obs"
 )
 
 func journalPath(s *Store) string { return filepath.Join(s.Dir(), "journal.ndjson") }
@@ -72,10 +76,12 @@ func TestJournalTruncatedTailRepaired(t *testing.T) {
 	}
 	f.Close()
 
-	var logged []string
-	s2, err := Open(dir, Options{Logf: func(format string, args ...any) {
-		logged = append(logged, format)
-	}})
+	var logged bytes.Buffer
+	log, err := obs.NewLogger(&logged, obs.LogText, slog.LevelInfo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir, Options{Log: log})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,14 +90,8 @@ func TestJournalTruncatedTailRepaired(t *testing.T) {
 	if j.Records() != 1 {
 		t.Fatalf("Records after repair = %d, want 1", j.Records())
 	}
-	found := false
-	for _, l := range logged {
-		if strings.Contains(l, "incomplete tail") {
-			found = true
-		}
-	}
-	if !found {
-		t.Fatalf("tail repair not logged: %v", logged)
+	if !strings.Contains(logged.String(), "incomplete tail") {
+		t.Fatalf("tail repair not logged: %v", logged.String())
 	}
 	// The file is valid NDJSON again: a fresh append lands on its own
 	// line, not fused onto the truncated garbage.

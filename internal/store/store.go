@@ -25,12 +25,15 @@ package store
 import (
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // SchemaVersion stamps every store entry and journal record. Bump it on
@@ -49,13 +52,17 @@ type Options struct {
 	// appends to stable storage. Off, durability is bounded by the OS
 	// page cache — state survives a process kill but not a power loss.
 	Fsync bool
-	// Logf receives one line per skipped/repaired artifact (optional).
-	Logf func(format string, args ...any)
+	// Log receives one structured record per skipped/repaired artifact
+	// (optional; nil discards).
+	Log *slog.Logger
+	// Metrics, when non-nil, registers the store's latency histograms
+	// (entry read/write, GC pause) on the shared registry.
+	Metrics *obs.Registry
 }
 
 func (o Options) withDefaults() Options {
-	if o.Logf == nil {
-		o.Logf = func(string, ...any) {}
+	if o.Log == nil {
+		o.Log = obs.NopLogger()
 	}
 	return o
 }
@@ -82,6 +89,11 @@ type Store struct {
 	opts    Options
 	journal *Journal
 
+	// Latency histograms, nil without Options.Metrics.
+	readHist  *obs.Histogram
+	writeHist *obs.Histogram
+	gcHist    *obs.Histogram
+
 	mu        sync.Mutex // guards writes, GC and the size accounting
 	entries   int
 	bytes     int64
@@ -105,6 +117,12 @@ func Open(dir string, opts Options) (*Store, error) {
 		return nil, err
 	}
 	s := &Store{dir: dir, results: results, opts: opts, journal: j}
+	if m := opts.Metrics; m != nil {
+		b := obs.DefaultLatencyBuckets()
+		s.readHist = m.Histogram("koalad_store_read_seconds", "Store entry read+decode latency.", b)
+		s.writeHist = m.Histogram("koalad_store_write_seconds", "Store entry marshal+write+rename latency.", b)
+		s.gcHist = m.Histogram("koalad_store_gc_pause_seconds", "Store GC sweep duration (the store lock is held throughout).", b)
+	}
 	// A crash between CreateTemp and Rename (Put or Compact) orphans a
 	// temp file invisible to GC and the size accounting; sweep the
 	// debris of previous lives before counting. The directory is owned
@@ -175,6 +193,10 @@ func (s *Store) Put(e Entry) error {
 	if !validHash(e.Hash) {
 		return fmt.Errorf("store: invalid hash %q", e.Hash)
 	}
+	if s.writeHist != nil {
+		start := time.Now()
+		defer func() { s.writeHist.Observe(time.Since(start).Seconds()) }()
+	}
 	e.Schema = SchemaVersion
 	if e.SavedUnixNano == 0 {
 		e.SavedUnixNano = time.Now().UnixNano()
@@ -243,6 +265,10 @@ func (s *Store) Get(hash string) *Entry {
 	if !validHash(hash) {
 		return nil
 	}
+	if s.readHist != nil {
+		start := time.Now()
+		defer func() { s.readHist.Observe(time.Since(start).Seconds()) }()
+	}
 	b, err := os.ReadFile(s.entryPath(hash))
 	if err != nil {
 		return nil // miss (or racing GC removal — same thing)
@@ -253,29 +279,29 @@ func (s *Store) Get(hash string) *Entry {
 func (s *Store) decodeEntry(hash string, b []byte) *Entry {
 	var e Entry
 	if err := json.Unmarshal(b, &e); err != nil {
-		s.skip("store: skipping corrupt entry %s: %v", hash, err)
+		s.skip("skipping corrupt entry", "hash", hash, "err", err)
 		return nil
 	}
 	if e.Schema != SchemaVersion {
-		s.skip("store: skipping entry %s with schema %d (want %d)", hash, e.Schema, SchemaVersion)
+		s.skip("skipping entry with unknown schema", "hash", hash, "schema", e.Schema, "want", SchemaVersion)
 		return nil
 	}
 	if e.Hash != hash {
-		s.skip("store: skipping entry %s whose body claims hash %s", hash, e.Hash)
+		s.skip("skipping entry whose body claims another hash", "hash", hash, "claimed", e.Hash)
 		return nil
 	}
 	if len(e.Summary) == 0 {
-		s.skip("store: skipping entry %s with empty summary", hash)
+		s.skip("skipping entry with empty summary", "hash", hash)
 		return nil
 	}
 	return &e
 }
 
-func (s *Store) skip(format string, args ...any) {
+func (s *Store) skip(msg string, attrs ...any) {
 	s.mu.Lock()
 	s.skipped++
 	s.mu.Unlock()
-	s.opts.Logf(format, args...)
+	s.opts.Log.Warn("store: "+msg, attrs...)
 }
 
 // Entries scans every stored result, skipping unreadable, corrupt and
@@ -369,6 +395,10 @@ type GCResult struct {
 // against concurrent readers — a Get racing a removal degrades to a
 // miss (the config re-simulates on its next POST).
 func (s *Store) GC(maxBytes int64, maxAge time.Duration) (GCResult, error) {
+	if s.gcHist != nil {
+		start := time.Now()
+		defer func() { s.gcHist.Observe(time.Since(start).Seconds()) }()
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	infos, err := s.scan()

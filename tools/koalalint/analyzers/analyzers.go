@@ -1,4 +1,4 @@
-// Package analyzers holds the four repo-specific koalalint checks that
+// Package analyzers holds the five repo-specific koalalint checks that
 // mechanically enforce the determinism and hot-path invariants the
 // byte-identical-summaries claim rests on:
 //
@@ -6,6 +6,7 @@
 //   - detorder:    no unordered map iteration without a justification
 //   - detrand:     no unseeded randomness
 //   - hotpathalloc: no closures or allocation on the event hot path
+//   - obshook:     observability hooks nil-guarded and allocation-free
 //
 // See docs/determinism.md for the invariants and the escape hatches.
 package analyzers
@@ -56,7 +57,7 @@ func isHotPath(pkgPath string) bool       { return hotPathDirs[path.Base(pkgPath
 
 // All returns the koalalint suite in reporting order.
 func All() []*lint.Analyzer {
-	return []*lint.Analyzer{DetWallTime, DetOrder, DetRand, HotPathAlloc}
+	return []*lint.Analyzer{DetWallTime, DetOrder, DetRand, HotPathAlloc, ObsHook}
 }
 
 // usedPackageFunc reports the package-level function from pkgPath that the

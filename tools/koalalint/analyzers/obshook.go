@@ -1,0 +1,259 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path"
+
+	"repro/tools/koalalint/lint"
+)
+
+// ObsHook keeps the passive observability hooks passive. The obs.SimStats
+// collector is fed from the event hot path of deterministic packages, so
+// two invariants carry its zero-overhead-when-disabled claim.
+var ObsHook = &lint.Analyzer{
+	Name: "obshook",
+	Doc: `keep the obs.SimStats observability hooks nil-guarded and allocation-free
+
+Two checks:
+
+ 1. In the deterministic packages (plus internal/core, which wires the
+    manager), every method call on an obs.SimStats value or a sim.Stats
+    interface must sit inside an if-statement guarding that exact
+    receiver against nil (if x != nil { x.Hook(...) }). An unguarded
+    call either panics when collection is off or forces callers to box
+    nil pointers into the interface, which defeats the engine's guard.
+    //koalalint:obs <why> on the call line exempts a justified site.
+
+ 2. In package obs itself, SimStats recording hooks — methods with no
+    results, fed per event — must not read the wall clock and must not
+    allocate (no closures, composite literals, make, new or append):
+    their callers sit on the hot path whose allocs/op budget is zero,
+    and wall-clock reads would leak nondeterminism back into the run.
+    Accessors that return values (Snapshot) may allocate freely;
+    //koalalint:alloc <why> exempts an amortized allocation.`,
+	Run: runObsHook,
+}
+
+// isObsConsumer reports whether rule 1 applies: the deterministic sweep
+// plus internal/core, which owns the manager's Stats wiring.
+func isObsConsumer(pkgPath string) bool {
+	return isDeterministic(pkgPath) || path.Base(pkgPath) == "core"
+}
+
+func runObsHook(pass *lint.Pass) error {
+	pkg := pass.Pkg
+	if isObsConsumer(pkg.ImportPath) {
+		checkObsGuards(pass)
+	}
+	if path.Base(pkg.ImportPath) == "obs" {
+		checkObsHookBodies(pass)
+	}
+	return nil
+}
+
+// nilGuard is one `expr != nil` comparison and the statement range it
+// protects (the if-statement's body).
+type nilGuard struct {
+	expr     string
+	from, to token.Pos
+}
+
+// checkObsGuards enforces rule 1: hook-receiver method calls must be
+// lexically inside an if-body guarded by `<receiver> != nil`.
+func checkObsGuards(pass *lint.Pass) {
+	pkg := pass.Pkg
+
+	var guards []nilGuard
+	inspectFiles(pkg, func(n ast.Node) bool {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok {
+			return true
+		}
+		for _, expr := range nilCheckedExprs(ifs.Cond) {
+			guards = append(guards, nilGuard{expr: expr, from: ifs.Body.Pos(), to: ifs.Body.End()})
+		}
+		return true
+	})
+
+	inspectFiles(pkg, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !recvIsObsHook(pkg.TypesInfo, sel) {
+			return true
+		}
+		recv := exprString(sel.X)
+		if recv == "" {
+			// A receiver too complex to render (call results, index
+			// expressions) cannot match a guard textually; require the
+			// directive.
+			recv = "<complex receiver>"
+		}
+		for _, g := range guards {
+			if g.expr == recv && call.Pos() >= g.from && call.Pos() <= g.to {
+				return true
+			}
+		}
+		if d, ok := pkg.DirectiveAt(call, "obs"); ok {
+			if d.Justification == "" {
+				pass.Reportf(call.Pos(), "//koalalint:obs needs a justification for the unguarded hook call it permits")
+			}
+			return true
+		}
+		pass.Reportf(call.Pos(),
+			"%s.%s called without an enclosing `if %s != nil` guard; observability hooks must cost nothing when disabled",
+			recv, sel.Sel.Name, recv)
+		return true
+	})
+}
+
+// nilCheckedExprs extracts the rendered left-hand sides of `x != nil`
+// comparisons from an if condition, descending through && conjunctions
+// (either conjunct guards the whole body).
+func nilCheckedExprs(cond ast.Expr) []string {
+	switch e := cond.(type) {
+	case *ast.ParenExpr:
+		return nilCheckedExprs(e.X)
+	case *ast.BinaryExpr:
+		switch e.Op {
+		case token.LAND:
+			return append(nilCheckedExprs(e.X), nilCheckedExprs(e.Y)...)
+		case token.NEQ:
+			if isNilIdent(e.Y) {
+				if s := exprString(e.X); s != "" {
+					return []string{s}
+				}
+			}
+			if isNilIdent(e.X) {
+				if s := exprString(e.Y); s != "" {
+					return []string{s}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// exprString renders the simple receiver forms a nil guard can name:
+// identifiers and selector chains. Anything else renders empty.
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		if x := exprString(e.X); x != "" {
+			return x + "." + e.Sel.Name
+		}
+	case *ast.ParenExpr:
+		return exprString(e.X)
+	}
+	return ""
+}
+
+// recvIsObsHook reports whether the selector is a method call on
+// obs.SimStats (by value or pointer) or on the sim.Stats interface,
+// matching by type name and final package-path element so the analyzer
+// applies equally to the real packages and to test fixtures.
+func recvIsObsHook(info *types.Info, sel *ast.SelectorExpr) bool {
+	s, ok := info.Selections[sel]
+	if !ok {
+		return false
+	}
+	t := s.Recv()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	base := path.Base(obj.Pkg().Path())
+	return (obj.Name() == "SimStats" && base == "obs") ||
+		(obj.Name() == "Stats" && base == "sim")
+}
+
+// checkObsHookBodies enforces rule 2: SimStats recording hooks (methods
+// with no results) stay wall-clock-free and allocation-free.
+func checkObsHookBodies(pass *lint.Pass) {
+	pkg := pass.Pkg
+	report := func(n ast.Node, format string, args ...any) {
+		if d, ok := pkg.DirectiveAt(n, "alloc"); ok {
+			if d.Justification == "" {
+				pass.Reportf(n.Pos(), "//koalalint:alloc needs a justification for the allocation it permits")
+			}
+			return
+		}
+		pass.Reportf(n.Pos(), format, args...)
+	}
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !isSimStatsHook(pkg.TypesInfo, fn) {
+				continue
+			}
+			name := fn.Name.Name
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.FuncLit:
+					report(n, "function literal allocates in SimStats hook %s", name)
+					return false
+				case *ast.CompositeLit:
+					report(n, "composite literal allocates in SimStats hook %s", name)
+				case *ast.CallExpr:
+					if id, ok := n.Fun.(*ast.Ident); ok && allocBuiltins[id.Name] && isBuiltin(pkg.TypesInfo, id) {
+						report(n, "%s allocates in SimStats hook %s", id.Name, name)
+					}
+				case *ast.SelectorExpr:
+					if wf := usedPackageFunc(pkg.TypesInfo, n.Sel, "time"); wf != nil && wallClockFuncs[wf.Name()] {
+						pass.Reportf(n.Pos(),
+							"time.%s reads the wall clock in SimStats hook %s; hooks record only simulated time",
+							wf.Name(), name)
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// isSimStatsHook reports whether fn is a recording hook: a method on
+// SimStats (value or pointer receiver) with no results. Accessors that
+// return values (Snapshot) are not hooks and may allocate.
+func isSimStatsHook(info *types.Info, fn *ast.FuncDecl) bool {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return false
+	}
+	if fn.Type.Results != nil && len(fn.Type.Results.List) > 0 {
+		return false
+	}
+	obj, ok := info.Defs[fn.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := obj.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	return named.Obj().Name() == "SimStats"
+}

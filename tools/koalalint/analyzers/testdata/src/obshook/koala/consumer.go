@@ -1,0 +1,27 @@
+// Package koala is an obshook fixture: a deterministic consumer feeding
+// the concrete SimStats collector through nil-guarded hooks.
+package koala
+
+import "repro/tools/koalalint/analyzers/testdata/src/obshook/obs"
+
+// Manager mirrors the real manager's Stats wiring.
+type Manager struct {
+	now   float64
+	Stats *obs.SimStats
+}
+
+func (m *Manager) round() {
+	if m.Stats != nil {
+		m.Stats.GrowDecisions(m.now, 1) // guarded: fine
+	}
+	m.Stats.EventFired(m.now) // want `m\.Stats\.EventFired called without an enclosing .if m\.Stats != nil. guard`
+	if m.Stats == nil {
+		return
+	}
+	// An early-return guard is not a lexical if-body: the directive is
+	// the documented escape for this shape.
+	//koalalint:obs guarded by the early return above
+	m.Stats.EventFired(m.now)
+	//koalalint:obs
+	m.Stats.EventFired(m.now) // want `//koalalint:obs needs a justification`
+}

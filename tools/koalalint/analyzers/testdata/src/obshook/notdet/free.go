@@ -1,0 +1,11 @@
+// Package notdet sits outside the deterministic sweep (and outside
+// internal/core), so obshook leaves its hook calls alone: server-side
+// consumers own their collectors and may call them unguarded.
+package notdet
+
+import "repro/tools/koalalint/analyzers/testdata/src/obshook/obs"
+
+func report(s *obs.SimStats) obs.Snapshot {
+	s.EventFired(1) // unguarded, but not in scope
+	return s.TakeSnapshot()
+}

@@ -1,0 +1,55 @@
+// Package obs is an obshook fixture: a miniature of the real SimStats
+// collector. Recording hooks (methods with no results) must not read the
+// wall clock or allocate; accessors returning values may do both.
+package obs
+
+import "time"
+
+// SimStats mirrors the real collector; obshook keys on the type name and
+// the package's final path element.
+type SimStats struct {
+	fired   int64
+	horizon float64
+	labels  []string
+}
+
+// Snapshot mirrors the real accessor shape.
+type Snapshot struct {
+	Fired   int64
+	Horizon float64
+}
+
+// EventFired is a well-behaved hook: plain arithmetic on simulated time.
+func (s *SimStats) EventFired(now float64) {
+	s.fired++
+	if now > s.horizon {
+		s.horizon = now
+	}
+}
+
+// EventScheduled reads the machine clock inside a hook.
+func (s *SimStats) EventScheduled(at float64) {
+	_ = time.Now() // want `time\.Now reads the wall clock in SimStats hook EventScheduled`
+	s.fired++
+}
+
+// EventCanceled allocates inside a hook.
+func (s *SimStats) EventCanceled(now float64) {
+	s.labels = append(s.labels, "canceled") // want `append allocates in SimStats hook EventCanceled`
+	_ = make([]int, 4)                      // want `make allocates in SimStats hook EventCanceled`
+	_ = &Snapshot{}                         // want `composite literal allocates in SimStats hook EventCanceled`
+	_ = func() {}                           // want `function literal allocates in SimStats hook EventCanceled`
+}
+
+// GrowDecisions carries a justified amortized allocation.
+func (s *SimStats) GrowDecisions(now float64, n int) {
+	//koalalint:alloc amortized: the label slice retains its capacity
+	s.labels = append(s.labels, "grow")
+}
+
+// TakeSnapshot returns a value, so it is an accessor, not a hook: the
+// composite literal and the wall-clock read are both fine here.
+func (s *SimStats) TakeSnapshot() Snapshot {
+	_ = time.Now()
+	return Snapshot{Fired: s.fired, Horizon: s.horizon}
+}

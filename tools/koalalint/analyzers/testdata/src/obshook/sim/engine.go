@@ -1,0 +1,37 @@
+// Package sim is an obshook fixture for the interface side: calls through
+// the Stats interface in a deterministic package need the same nil guard
+// as calls on the concrete collector.
+package sim
+
+// Stats mirrors the real engine hook interface; obshook keys on the type
+// name and the package's final path element.
+type Stats interface {
+	EventFired(now float64)
+	EventScheduled(at float64)
+}
+
+// Engine mirrors the real engine's stats seam.
+type Engine struct {
+	now   float64
+	stats Stats
+}
+
+func (e *Engine) step() {
+	e.now++
+	if e.stats != nil {
+		e.stats.EventFired(e.now) // guarded: fine
+	}
+	e.stats.EventScheduled(e.now) // want `e\.stats\.EventScheduled called without an enclosing .if e\.stats != nil. guard`
+}
+
+func (e *Engine) guardedElsewhere(other *Engine) {
+	if e.stats != nil {
+		// The guard names a different receiver than the call.
+		other.stats.EventFired(e.now) // want `other\.stats\.EventFired called without an enclosing .if other\.stats != nil. guard`
+	}
+	if e.stats != nil && e.now > 0 {
+		e.stats.EventFired(e.now) // a conjunct guards the whole body
+	}
+	//koalalint:obs constructor-owned collector, never nil by construction
+	e.stats.EventFired(e.now)
+}
