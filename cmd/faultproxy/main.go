@@ -1,0 +1,65 @@
+// Command faultproxy is the out-of-process face of the fault-injection
+// harness (internal/faults): a scripted-fault TCP proxy the chaos CI
+// smoke puts between a coordinator koalad and its workers. Each
+// accepted connection consumes one step of the schedule; past the end
+// of the script every connection passes through untouched, so a finite
+// script perturbs exactly the traffic it names and nothing after.
+//
+// Usage:
+//
+//	faultproxy -listen 127.0.0.1:9181 -target 127.0.0.1:9081 \
+//	           -schedule 'ok,reset@2048,503*2,delay=250ms'
+//
+// Schedule grammar (comma-separated, each step optionally *N):
+//
+//	ok           pass the connection through untouched
+//	drop         close the accepted connection without dialing the target
+//	delay=DUR    dial the target after sleeping DUR, then pipe
+//	reset@N      pipe, then hard-reset the client after N response bytes
+//	truncate@N   pipe, then close the client cleanly after N response bytes
+//	CODE         answer an HTTP CODE (5xx) without dialing the target
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/buildinfo"
+	"repro/internal/faults"
+)
+
+func main() {
+	version := flag.Bool("version", false, "print version and exit")
+	listen := flag.String("listen", "127.0.0.1:0", "address to accept connections on")
+	target := flag.String("target", "", "host:port to forward connections to (required)")
+	schedule := flag.String("schedule", "", "scripted fault schedule; empty passes everything through")
+	flag.Parse()
+
+	if *version {
+		fmt.Println(buildinfo.String("faultproxy"))
+		return
+	}
+	if *target == "" {
+		fmt.Fprintln(os.Stderr, "faultproxy: -target is required")
+		os.Exit(2)
+	}
+	sched, err := faults.ParseSchedule(*schedule)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "faultproxy: %v\n", err)
+		os.Exit(2)
+	}
+	proxy, err := faults.NewProxy(*listen, *target, sched)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "faultproxy: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("faultproxy: %s -> %s (schedule %q)\n", proxy.Addr(), *target, *schedule)
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+	<-sigCh
+	_ = proxy.Close()
+}

@@ -9,6 +9,8 @@
 //
 //	koalad [-addr :8080] [-parallel N] [-max-runs N] [-queue N]
 //	       [-workers http://hostA:8080,http://hostB:8080] [-role worker]
+//	       [-worker-retry-max N] [-worker-timeout D] [-breaker-threshold N]
+//	       [-breaker-cooldown D] [-health-interval D]
 //	       [-data-dir DIR] [-store-max-bytes N] [-store-max-age D]
 //	       [-store-fsync] [-store-gc-interval D] [-pprof]
 //	       [-log-format text|json] [-log-level info] [-version]
@@ -31,11 +33,18 @@
 // With -workers the daemon is a multi-node coordinator: admitted runs
 // are sharded across the listed worker daemons by config fingerprint
 // (the same config always lands on the same worker, so worker stores
-// dedupe re-submissions without simulating), progress streams back
-// through the normal event path, and a failed or unreachable worker
-// fails the run over to the local backend — results are byte-identical
-// either way. -role worker labels a daemon that only serves execution
-// (it refuses -workers, so work cannot be re-forwarded).
+// dedupe re-submissions without simulating) and progress streams back
+// through the normal event path. Dispatches are fault tolerant: a torn
+// stream or 429/5xx is retried -worker-retry-max times with capped
+// exponential backoff (jitter is deterministic per run fingerprint), a
+// worker that keeps failing trips a per-worker circuit breaker after
+// -breaker-threshold consecutive failures (probed again after
+// -breaker-cooldown), unhealthy or draining workers are dropped from
+// the routing ring by the -health-interval /healthz poll, and a point
+// that exhausts every healthy worker fails over to the local backend —
+// results are byte-identical on every path (see docs/resilience.md).
+// -role worker labels a daemon that only serves execution (it refuses
+// -workers, so work cannot be re-forwarded).
 //
 // With -data-dir the daemon is durable: completed summaries are written
 // through to a content-addressed on-disk store, run transitions are
@@ -87,6 +96,11 @@ func main() {
 	retain := flag.Int("retain", 256, "terminal runs kept resident (results + event logs); the oldest beyond this are forgotten")
 	workers := flag.String("workers", "", "comma-separated worker koalad base URLs (http://host:port): shard runs across them by config fingerprint, with local failover")
 	role := flag.String("role", "coordinator", "daemon role: coordinator (dispatches to -workers when set) or worker (execution only; refuses -workers)")
+	workerRetryMax := flag.Int("worker-retry-max", 2, "retries per worker dispatch before rerouting/failing over (0 = default, negative = no retries)")
+	workerTimeout := flag.Duration("worker-timeout", 2*time.Minute, "abort a worker stream that goes this long without an NDJSON event (negative = no idle watchdog)")
+	breakerThreshold := flag.Int("breaker-threshold", 3, "consecutive dispatch failures before a worker's circuit breaker opens (negative = breaker disabled)")
+	breakerCooldown := flag.Duration("breaker-cooldown", 5*time.Second, "how long an open breaker waits before admitting a half-open probe dispatch")
+	healthInterval := flag.Duration("health-interval", 15*time.Second, "how often the coordinator polls worker /healthz to gate the shard ring (0 = no background polling)")
 	drainTimeout := flag.Duration("drain-timeout", 2*time.Minute, "how long a shutdown waits for in-flight runs before aborting them")
 	enablePprof := flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ on the daemon's mux (unauthenticated; enable only on trusted networks)")
 	dataDir := flag.String("data-dir", "", "directory for the persistent result store and run journal (empty = in-memory only, results do not survive a restart)")
@@ -141,15 +155,23 @@ func main() {
 	var be backend.Backend
 	if *workers != "" {
 		rb, err := backend.NewRemote(backend.RemoteOptions{
-			Workers: strings.Split(*workers, ","),
-			Log:     logger,
-			Metrics: metrics,
+			Workers:          strings.Split(*workers, ","),
+			Log:              logger,
+			Metrics:          metrics,
+			Retry:            backend.RetryPolicy{MaxRetries: *workerRetryMax},
+			IdleEventTimeout: *workerTimeout,
+			BreakerThreshold: *breakerThreshold,
+			BreakerCooldown:  *breakerCooldown,
+			HealthInterval:   *healthInterval,
 		})
 		if err != nil {
 			fatal(logger, "koalad: bad -workers", "err", err)
 		}
+		defer rb.Close()
 		be = rb
-		logger.Info("koalad: dispatching to workers", "count", len(rb.Workers()), "workers", strings.Join(rb.Workers(), ", "))
+		logger.Info("koalad: dispatching to workers",
+			"count", len(rb.Workers()), "workers", strings.Join(rb.Workers(), ", "),
+			"retry_max", *workerRetryMax, "breaker_threshold", *breakerThreshold)
 	}
 	var st *store.Store
 	if *dataDir != "" {

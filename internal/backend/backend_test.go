@@ -218,7 +218,9 @@ func TestRemoteFailoverUnreachableWorker(t *testing.T) {
 
 // TestRemoteFailoverMidStreamDeath: a worker that dies after streaming
 // part of the run falls back to local execution and still produces the
-// byte-identical summary. Replications the dead worker already
+// byte-identical summary. Retries are disabled to pin the bare
+// failover path (the retry/reroute ladder has its own tests in
+// faultinjection_test.go); replications the dead worker already
 // reported fire their hooks again — documented, and harmless to the
 // result.
 func TestRemoteFailoverMidStreamDeath(t *testing.T) {
@@ -234,7 +236,11 @@ func TestRemoteFailoverMidStreamDeath(t *testing.T) {
 	}))
 	defer dying.Close()
 
-	rb, err := backend.NewRemote(backend.RemoteOptions{Workers: []string{dying.URL}, Log: testLogger(t)})
+	rb, err := backend.NewRemote(backend.RemoteOptions{
+		Workers: []string{dying.URL},
+		Log:     testLogger(t),
+		Retry:   backend.RetryPolicy{MaxRetries: -1},
+	})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,131 @@
+package backend
+
+import (
+	"sync"
+	"time"
+)
+
+// breakerState is the classic three-state circuit breaker machine.
+type breakerState int32
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// breaker is a per-worker circuit breaker: `threshold` consecutive
+// failures open it, an open breaker refuses dispatches (so a dead
+// worker stops eating retry budget and points reroute immediately),
+// and after `cooldown` exactly one probe dispatch is let through
+// (half-open) — success closes the breaker, failure re-opens it for
+// another cooldown. The zero threshold disables the breaker entirely
+// (Allow always true).
+type breaker struct {
+	mu        sync.Mutex
+	state     breakerState
+	failures  int // consecutive, in closed state
+	threshold int
+	cooldown  time.Duration
+	openedAt  time.Time
+	now       func() time.Time // injectable for tests
+
+	// onTransition, when non-nil, observes every state change (metrics
+	// hook). Called with the breaker's lock held — keep it cheap.
+	onTransition func(from, to breakerState)
+}
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	return &breaker{threshold: threshold, cooldown: cooldown, now: time.Now}
+}
+
+func (b *breaker) transition(to breakerState) {
+	if b.state == to {
+		return
+	}
+	from := b.state
+	b.state = to
+	if b.onTransition != nil {
+		b.onTransition(from, to)
+	}
+}
+
+// Allow reports whether a dispatch may proceed. In the open state it
+// flips to half-open once the cooldown has elapsed and admits exactly
+// one caller as the probe; everyone else is refused until the probe
+// reports back.
+func (b *breaker) Allow() bool {
+	if b == nil || b.threshold <= 0 {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.transition(breakerHalfOpen)
+		return true // this caller is the probe
+	default: // half-open: a probe is already in flight
+		return false
+	}
+}
+
+// Success reports a completed dispatch: closes a half-open breaker,
+// clears the consecutive-failure count.
+func (b *breaker) Success() {
+	if b == nil || b.threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failures = 0
+	b.transition(breakerClosed)
+}
+
+// Failure reports a failed dispatch: counts toward the threshold in
+// closed state, re-opens from half-open (the probe failed).
+func (b *breaker) Failure() {
+	if b == nil || b.threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		b.failures++
+		if b.failures >= b.threshold {
+			b.openedAt = b.now()
+			b.transition(breakerOpen)
+		}
+	case breakerHalfOpen:
+		b.openedAt = b.now()
+		b.transition(breakerOpen)
+	default: // already open (a straggler in-flight dispatch failing late)
+		b.openedAt = b.now()
+	}
+}
+
+// State snapshots the current state.
+func (b *breaker) State() breakerState {
+	if b == nil || b.threshold <= 0 {
+		return breakerClosed
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

@@ -9,6 +9,7 @@ import (
 	"hash/fnv"
 	"io"
 	"log/slog"
+	"net"
 	"net/http"
 	"net/url"
 	"strings"
@@ -30,39 +31,99 @@ type RemoteOptions struct {
 	// Required, and validated by NewRemote — a malformed URL fails at
 	// construction, not at first dispatch.
 	Workers []string
-	// Client issues the dispatch requests (default: a client with no
-	// overall timeout — runs are long; cancellation comes from ctx).
+	// Client issues the dispatch requests. Nil builds a client with
+	// dial, TLS-handshake and response-header timeouts (see
+	// DialTimeout / ResponseHeaderTimeout) but no overall deadline —
+	// runs are long; per-request liveness comes from the progress-idle
+	// watchdog and cancellation from ctx.
 	Client *http.Client
-	// Fallback executes points whose worker failed (default Local{}).
+	// Fallback executes points whose every worker candidate failed
+	// (default Local{}).
 	Fallback Backend
-	// Log receives one structured record per dispatch failure/failover
-	// (optional; nil discards).
+	// Log receives one structured record per retry, reroute, breaker
+	// transition, ring flip and failover (optional; nil discards).
 	Log *slog.Logger
-	// Metrics, when non-nil, registers the per-worker dispatch RTT
-	// histogram on the shared registry.
+	// Metrics, when non-nil, registers the resilience metric families
+	// (dispatch RTT, retries, breaker state, ring membership) on the
+	// shared registry.
 	Metrics *obs.Registry
+	// Retry shapes the per-worker retry loop (zero value = defaults:
+	// 2 retries, 50ms base, 2s cap; MaxRetries < 0 disables).
+	Retry RetryPolicy
+	// BreakerThreshold is how many consecutive failures open a
+	// worker's circuit breaker (0 = default 3; negative disables the
+	// breakers).
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker refuses dispatches
+	// before letting one probe through (default 5s).
+	BreakerCooldown time.Duration
+	// HealthInterval is the ring's /healthz poll period. 0 disables
+	// background polling (the ring still gates on breaker state and
+	// can be refreshed explicitly via RefreshHealth).
+	HealthInterval time.Duration
+	// DialTimeout bounds connection establishment of the default
+	// client (default 5s). Ignored when Client is set.
+	DialTimeout time.Duration
+	// ResponseHeaderTimeout bounds the wait for a worker's response
+	// headers on the default client (default 30s) — a worker that
+	// accepts the connection and then hangs before answering is
+	// detected here. Ignored when Client is set.
+	ResponseHeaderTimeout time.Duration
+	// IdleEventTimeout is the progress-idle watchdog on follow
+	// streams: if no NDJSON event arrives for this long the dispatch
+	// is aborted and classified retryable. Reset on every event, so
+	// long healthy runs that keep reporting replications are
+	// unaffected; a stalled worker is detected within one period.
+	// 0 = default 2m; negative disables.
+	IdleEventTimeout time.Duration
 }
 
 // Remote shards experiment points across worker koalad daemons by the
 // config's canonical fingerprint: the same point always lands on the
 // same worker, so a worker's content-addressed store accumulates
 // exactly the shard it owns and answers re-submissions without
-// simulating. A failed or unreachable worker fails the point over to
-// the fallback backend; the result is byte-identical either way, so
-// failover costs time, never correctness.
+// simulating.
+//
+// Failure handling is layered (see docs/resilience.md):
+//
+//  1. Retryable failures (connect refused/reset, 429/5xx, torn or
+//     stalled NDJSON) retry on the owning worker with capped
+//     exponential backoff and fingerprint-seeded deterministic jitter.
+//  2. A worker whose consecutive failures cross the breaker threshold
+//     is circuit-broken: dispatches skip it without spending retry
+//     budget until a cooldown probe succeeds.
+//  3. A point whose owner is broken, gated out by the health ring
+//     (unreachable or draining), or still failing after retries,
+//     reroutes to the next healthy worker on the ring.
+//  4. Only when every worker candidate is exhausted does the point
+//     fail over to the fallback backend (normally Local).
+//
+// The result is byte-identical on every path — retries, reroutes and
+// failover cost time, never correctness.
 type Remote struct {
 	workers  []string
 	client   *http.Client
 	fallback Backend
 	log      *slog.Logger
-	rtt      *obs.HistogramVec // dispatch round-trip per worker, nil without Metrics
+	retry    RetryPolicy
+	idle     time.Duration
+	breakers map[string]*breaker
+	ring     *ring
 
-	dispatched atomic.Int64 // points sent to a worker
-	remoteDone atomic.Int64 // points completed by a worker
-	failovers  atomic.Int64 // points re-run on the fallback
+	rtt        *obs.HistogramVec // dispatch round-trip per worker, nil without Metrics
+	retriesVec obs.CounterVec    // per-worker retry counter, valid iff hasMetrics
+	hasMetrics bool
+
+	dispatched   atomic.Int64 // points entering RunPoint
+	remoteDone   atomic.Int64 // points completed by a worker
+	failovers    atomic.Int64 // points re-run on the fallback
+	retries      atomic.Int64 // same-worker retry attempts
+	reroutes     atomic.Int64 // attempts moved to a non-owner worker
+	breakerOpens atomic.Int64 // closed/half-open -> open transitions
 }
 
-// NewRemote validates the worker URLs and assembles the backend.
+// NewRemote validates the worker URLs and assembles the backend. Call
+// Close when done if HealthInterval is set (it stops the poll loop).
 func NewRemote(opts RemoteOptions) (*Remote, error) {
 	if len(opts.Workers) == 0 {
 		return nil, fmt.Errorf("backend: remote needs at least one worker URL")
@@ -88,9 +149,33 @@ func NewRemote(opts RemoteOptions) (*Remote, error) {
 		client:   opts.Client,
 		fallback: opts.Fallback,
 		log:      opts.Log,
+		retry:    opts.Retry.withDefaults(),
+		idle:     opts.IdleEventTimeout,
 	}
 	if r.client == nil {
-		r.client = &http.Client{}
+		dial := opts.DialTimeout
+		if dial <= 0 {
+			dial = 5 * time.Second
+		}
+		header := opts.ResponseHeaderTimeout
+		if header <= 0 {
+			header = 30 * time.Second
+		}
+		// No overall client timeout — runs are long — but every phase
+		// that can hang silently gets its own bound: dial, TLS
+		// handshake, response headers. Stream liveness after the
+		// headers is the idle watchdog's job.
+		r.client = &http.Client{Transport: &http.Transport{
+			Proxy:                 http.ProxyFromEnvironment,
+			DialContext:           (&net.Dialer{Timeout: dial, KeepAlive: 30 * time.Second}).DialContext,
+			TLSHandshakeTimeout:   dial,
+			ResponseHeaderTimeout: header,
+			MaxIdleConnsPerHost:   4,
+			IdleConnTimeout:       90 * time.Second,
+		}}
+	}
+	if r.idle == 0 {
+		r.idle = 2 * time.Minute
 	}
 	if r.fallback == nil {
 		r.fallback = Local{}
@@ -98,14 +183,83 @@ func NewRemote(opts RemoteOptions) (*Remote, error) {
 	if r.log == nil {
 		r.log = obs.NopLogger()
 	}
+
+	threshold := opts.BreakerThreshold
+	if threshold == 0 {
+		threshold = 3
+	}
+	if threshold < 0 {
+		threshold = 0 // disables (breaker.Allow always true)
+	}
+	cooldown := opts.BreakerCooldown
+	if cooldown <= 0 {
+		cooldown = 5 * time.Second
+	}
+
+	var breakerStates obs.GaugeVec
+	var breakerOpens, ringFlips obs.CounterVec
 	if opts.Metrics != nil {
+		r.hasMetrics = true
 		v := opts.Metrics.HistogramVec("koalad_dispatch_rtt_seconds",
 			"Dispatch round-trip per worker: POST to terminal event (failures included).",
 			"worker", obs.DefaultLatencyBuckets())
 		r.rtt = &v
+		r.retriesVec = opts.Metrics.CounterVec("koalad_worker_retries_total",
+			"Same-worker dispatch retries after a retryable failure.", "worker")
+		breakerOpens = opts.Metrics.CounterVec("koalad_breaker_opens_total",
+			"Circuit-breaker open transitions per worker.", "worker")
+		breakerStates = opts.Metrics.GaugeVec("koalad_breaker_state",
+			"Circuit-breaker state per worker (0 closed, 1 open, 2 half-open).", "worker")
+		ringFlips = opts.Metrics.CounterVec("koalad_ring_transitions_total",
+			"Health-ring admissions and ejections per worker.", "worker")
+		opts.Metrics.GaugeFunc("koalad_ring_healthy_workers",
+			"Workers currently admitted by the health-gated ring.",
+			func() float64 { return float64(r.ring.healthyCount()) })
 	}
+
+	r.breakers = make(map[string]*breaker, len(workers))
+	for _, w := range workers {
+		w := w
+		b := newBreaker(threshold, cooldown)
+		b.onTransition = func(from, to breakerState) {
+			if to == breakerOpen {
+				r.breakerOpens.Add(1)
+				if r.hasMetrics {
+					breakerOpens.With(w).Inc()
+				}
+				r.log.Warn("backend: circuit breaker opened", "worker", w)
+			} else {
+				r.log.Info("backend: circuit breaker "+to.String(), "worker", w)
+			}
+			if r.hasMetrics {
+				breakerStates.With(w).Set(int64(to))
+			}
+		}
+		r.breakers[w] = b
+	}
+
+	r.ring = newRing(workers, r.client, r.log)
+	if r.hasMetrics {
+		r.ring.onTransition = func(worker string, healthy bool) {
+			ringFlips.With(worker).Inc()
+		}
+	}
+	r.ring.start(opts.HealthInterval)
 	return r, nil
 }
+
+// Close stops the ring's background health polling (safe to call even
+// when polling was never started, and more than once).
+func (r *Remote) Close() { r.ring.shutdown() }
+
+// RefreshHealth runs one synchronous /healthz probe pass over every
+// worker, updating ring membership — the explicit alternative to
+// background polling (tests, or a caller that wants probe-on-demand).
+func (r *Remote) RefreshHealth(ctx context.Context) { r.ring.checkAll(ctx) }
+
+// HealthyWorkers snapshots the workers currently admitted by the ring,
+// in configuration order.
+func (r *Remote) HealthyWorkers() []string { return r.ring.healthyWorkers() }
 
 // Name implements Backend.
 func (r *Remote) Name() string { return "remote" }
@@ -113,41 +267,94 @@ func (r *Remote) Name() string { return "remote" }
 // Workers returns the validated worker base URLs.
 func (r *Remote) Workers() []string { return append([]string(nil), r.workers...) }
 
-// shardIndex maps a fingerprint onto a worker. FNV-1a over the hex
-// hash: stable across processes and restarts, so every coordinator
-// agrees where a config lives.
-func shardIndex(hash string, n int) int {
+// ShardIndex maps a fingerprint onto a worker index in [0, n). FNV-1a
+// over the hex hash: stable across processes and restarts, so every
+// coordinator agrees where a config lives. Exported so tests and
+// tooling can predict shard ownership from a fingerprint.
+func ShardIndex(hash string, n int) int {
 	h := fnv.New64a()
 	_, _ = io.WriteString(h, hash)
 	return int(h.Sum64() % uint64(n))
 }
 
-// RunPoint implements Backend: fingerprint, shard, dispatch, and on
-// any worker failure — unreachable at submit, non-200, or mid-stream
-// death — fall back to the local backend. Hooks already fired for
-// replications the worker streamed before dying fire again during the
-// fallback run; the returned result is the complete point either way.
+func shardIndex(hash string, n int) int { return ShardIndex(hash, n) }
+
+// RunPoint implements Backend: fingerprint, shard, dispatch with
+// retries, reroute across the healthy ring, and — only when every
+// worker candidate is exhausted — fall back to the local backend.
+// Hooks already fired for replications a worker streamed before dying
+// fire again on the retrying attempt; the returned result is the
+// complete point either way.
 func (r *Remote) RunPoint(ctx context.Context, cfg experiment.Config, hooks experiment.StreamHooks) (*experiment.StreamResult, error) {
 	hash, err := experiment.Fingerprint(cfg)
 	if err != nil {
 		return nil, err
 	}
-	worker := r.workers[shardIndex(hash, len(r.workers))]
 	r.dispatched.Add(1)
-	res, err := r.runOn(ctx, worker, cfg, hooks)
-	if err == nil {
-		r.remoteDone.Add(1)
-		return res, nil
-	}
-	if ctx.Err() != nil {
-		// The point was canceled, not the worker broken; surface it.
-		return nil, err
+	var lastErr error
+	for i, worker := range r.ring.candidates(hash) {
+		br := r.breakers[worker]
+		if !br.Allow() {
+			r.log.Info("backend: skipping circuit-broken worker",
+				"worker", worker, "config", cfg.Name, "hash", shortHash(hash))
+			continue
+		}
+		if i > 0 {
+			r.reroutes.Add(1)
+			r.log.Warn("backend: rerouting point off its owner shard",
+				"worker", worker, "config", cfg.Name, "hash", shortHash(hash), "prev_err", lastErr)
+		}
+		res, err := r.tryWorker(ctx, worker, hash, cfg, hooks)
+		if err == nil {
+			r.remoteDone.Add(1)
+			return res, nil
+		}
+		if ctx.Err() != nil {
+			// The point was canceled, not the worker broken; surface it.
+			return nil, err
+		}
+		lastErr = err
 	}
 	r.failovers.Add(1)
-	r.log.Warn("backend: worker failed; failing over",
-		"worker", worker, "config", cfg.Name, "hash", shortHash(hash),
-		"err", err, "fallback", r.fallback.Name())
+	r.log.Warn("backend: all worker candidates exhausted; failing over",
+		"config", cfg.Name, "hash", shortHash(hash),
+		"err", lastErr, "fallback", r.fallback.Name())
 	return r.fallback.RunPoint(ctx, cfg, hooks)
+}
+
+// tryWorker runs the per-worker retry loop: attempt, classify, back
+// off, re-attempt — bounded by the retry budget, cut short by a
+// terminal error or by the worker's breaker opening under it (a dead
+// worker must not eat the budget reroutes could use).
+func (r *Remote) tryWorker(ctx context.Context, worker, hash string, cfg experiment.Config, hooks experiment.StreamHooks) (*experiment.StreamResult, error) {
+	br := r.breakers[worker]
+	for attempt := 0; ; attempt++ {
+		res, err := r.runOn(ctx, worker, cfg, hooks)
+		if err == nil {
+			br.Success()
+			return res, nil
+		}
+		br.Failure()
+		if ctx.Err() != nil || !retryableError(err) || attempt >= r.retry.MaxRetries {
+			return nil, err
+		}
+		if br.State() == breakerOpen {
+			r.log.Warn("backend: abandoning retries, breaker opened",
+				"worker", worker, "config", cfg.Name, "attempt", attempt+1, "err", err)
+			return nil, err
+		}
+		delay := r.retry.Delay(hash, attempt)
+		r.retries.Add(1)
+		if r.hasMetrics {
+			r.retriesVec.With(worker).Inc()
+		}
+		r.log.Info("backend: retrying worker dispatch",
+			"worker", worker, "config", cfg.Name, "hash", shortHash(hash),
+			"attempt", attempt+1, "backoff", delay, "err", err)
+		if err := r.retry.sleep(ctx, delay); err != nil {
+			return nil, err
+		}
+	}
 }
 
 func shortHash(h string) string {
@@ -171,19 +378,44 @@ type wireEvent struct {
 // runOn executes one point on a worker: POST the resolved ConfigSpec,
 // replay the run's NDJSON events into hooks, and rebuild the result
 // from the terminal summary. Any transport or protocol trouble returns
-// an error — the caller owns failover.
+// a classified error — the caller owns retry/reroute/failover. A
+// progress-idle watchdog (reset on every event line) aborts a stream
+// that stops making progress without dying.
 func (r *Remote) runOn(ctx context.Context, worker string, cfg experiment.Config, hooks experiment.StreamHooks) (*experiment.StreamResult, error) {
 	spec, err := experiment.SpecFromConfig(cfg)
 	if err != nil {
-		return nil, err
+		return nil, &terminalError{err}
 	}
 	body, err := json.Marshal(spec)
 	if err != nil {
-		return nil, err
+		return nil, &terminalError{err}
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, worker+ExecutePath, bytes.NewReader(body))
+
+	reqCtx := ctx
+	var stalled atomic.Bool
+	var watchdog *time.Timer
+	if r.idle > 0 {
+		var cancel context.CancelFunc
+		reqCtx, cancel = context.WithCancel(ctx)
+		defer cancel()
+		watchdog = time.AfterFunc(r.idle, func() {
+			stalled.Store(true)
+			cancel()
+		})
+		defer watchdog.Stop()
+	}
+	// classify wraps a transport/stream error, tagging a watchdog abort
+	// as a stall (retryable) rather than a caller cancellation.
+	classify := func(reason string, err error) error {
+		if stalled.Load() && ctx.Err() == nil {
+			return &tornStreamError{reason: fmt.Sprintf("no event for %s", r.idle), err: err}
+		}
+		return &tornStreamError{reason: reason, err: err}
+	}
+
+	req, err := http.NewRequestWithContext(reqCtx, http.MethodPost, worker+ExecutePath, bytes.NewReader(body))
 	if err != nil {
-		return nil, err
+		return nil, &terminalError{err}
 	}
 	req.Header.Set("Content-Type", "application/json")
 	// Propagate the dispatch span identity so the worker's spans parent
@@ -197,12 +429,12 @@ func (r *Remote) runOn(ctx context.Context, worker string, cfg experiment.Config
 	}
 	resp, err := r.client.Do(req)
 	if err != nil {
-		return nil, err
+		return nil, classify("submit failed", err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
-		return nil, fmt.Errorf("worker returned %d: %s", resp.StatusCode, strings.TrimSpace(string(msg)))
+		return nil, &workerHTTPError{code: resp.StatusCode, msg: strings.TrimSpace(string(msg))}
 	}
 
 	// Read lines with a plain buffered reader, not a Scanner: the
@@ -214,9 +446,12 @@ func (r *Remote) runOn(ctx context.Context, worker string, cfg experiment.Config
 	for {
 		line, err := br.ReadBytes('\n')
 		if err != nil && err != io.EOF {
-			return nil, fmt.Errorf("worker stream died: %w", err)
+			return nil, classify("stream died mid-read", err)
 		}
 		atEOF := err == io.EOF
+		if watchdog != nil {
+			watchdog.Reset(r.idle)
+		}
 		line = bytes.TrimSpace(line)
 		if len(line) == 0 {
 			if atEOF {
@@ -226,7 +461,9 @@ func (r *Remote) runOn(ctx context.Context, worker string, cfg experiment.Config
 		}
 		var ev wireEvent
 		if err := json.Unmarshal(line, &ev); err != nil {
-			return nil, fmt.Errorf("bad event line from worker: %w", err)
+			// A partial final line from a torn connection, not a schema
+			// mismatch: retryable.
+			return nil, classify("partial or garbled event line", err)
 		}
 		switch ev.Type {
 		case "replication":
@@ -246,20 +483,22 @@ func (r *Remote) runOn(ctx context.Context, worker string, cfg experiment.Config
 			}
 		case "summary":
 			// Strict summary decode: a worker speaking an incompatible
-			// schema is a failover, not a silent half-result.
+			// schema is terminal — every retry would fail identically.
 			sum, err := experiment.DecodeSummary(ev.Summary)
 			if err != nil {
-				return nil, err
+				return nil, &terminalError{err}
 			}
 			return experiment.StreamResultFromSummary(cfg, sum), nil
 		case "error":
-			return nil, fmt.Errorf("worker run failed: %s", ev.Error)
+			// The run itself failed on the worker; the simulation is
+			// deterministic, so a retry fails the same way.
+			return nil, &terminalError{fmt.Errorf("worker run failed: %s", ev.Error)}
 		}
 		if atEOF {
 			break
 		}
 	}
-	return nil, fmt.Errorf("worker stream ended without a summary")
+	return nil, classify("stream ended without a summary", nil)
 }
 
 // Health implements Backend: probe every worker's /healthz and report
@@ -299,18 +538,26 @@ func (r *Remote) Health(ctx context.Context) Health {
 
 // RemoteStats are the dispatch counters koalad exposes on /metrics.
 type RemoteStats struct {
-	Workers    int   // configured workers
-	Dispatched int64 // points sent to a worker
-	RemoteDone int64 // points completed by a worker
-	Failovers  int64 // points re-run on the fallback backend
+	Workers        int   // configured workers
+	HealthyWorkers int   // workers currently admitted by the ring
+	Dispatched     int64 // points entering RunPoint
+	RemoteDone     int64 // points completed by a worker
+	Failovers      int64 // points re-run on the fallback backend
+	Retries        int64 // same-worker retry attempts
+	Reroutes       int64 // attempts moved off the owner shard
+	BreakerOpens   int64 // circuit-breaker open transitions
 }
 
 // Stats snapshots the dispatch counters.
 func (r *Remote) Stats() RemoteStats {
 	return RemoteStats{
-		Workers:    len(r.workers),
-		Dispatched: r.dispatched.Load(),
-		RemoteDone: r.remoteDone.Load(),
-		Failovers:  r.failovers.Load(),
+		Workers:        len(r.workers),
+		HealthyWorkers: r.ring.healthyCount(),
+		Dispatched:     r.dispatched.Load(),
+		RemoteDone:     r.remoteDone.Load(),
+		Failovers:      r.failovers.Load(),
+		Retries:        r.retries.Load(),
+		Reroutes:       r.reroutes.Load(),
+		BreakerOpens:   r.breakerOpens.Load(),
 	}
 }

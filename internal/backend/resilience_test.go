@@ -1,0 +1,195 @@
+package backend
+
+// In-package unit tests for the resilience primitives: the retry
+// policy's deterministic backoff, the error taxonomy, and the circuit
+// breaker's state machine (driven by a fake clock). The end-to-end
+// fault-schedule equivalence tests live in faultinjection_test.go.
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestRetryDelayDeterministic pins the reproducible-retry-schedule
+// contract: Delay is a pure function of (policy, fingerprint, attempt),
+// so re-running a sweep under the same fault schedule replays the
+// exact same backoff timeline.
+func TestRetryDelayDeterministic(t *testing.T) {
+	p := RetryPolicy{}.withDefaults()
+	q := RetryPolicy{}.withDefaults() // a fresh value, no shared state
+	hash := "9f86d081884c7d659a2feaa0c55ad015a3bf4f1b2b0b822cd15d6c15b0f00a08"
+	for attempt := 0; attempt < 8; attempt++ {
+		a, b := p.Delay(hash, attempt), q.Delay(hash, attempt)
+		if a != b {
+			t.Fatalf("attempt %d: delay not deterministic: %s vs %s", attempt, a, b)
+		}
+	}
+	// Different fingerprints decorrelate: at least one attempt's delay
+	// must differ, or the "jitter" is a constant.
+	other := "2c26b46b68ffc68ff99b453c1d30413413422d706483bfa0f98a5e886266e7ae"
+	same := true
+	for attempt := 0; attempt < 8; attempt++ {
+		if p.Delay(hash, attempt) != p.Delay(other, attempt) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("two distinct fingerprints produced identical retry schedules — jitter is not keyed on the hash")
+	}
+}
+
+// TestRetryDelayBounds: exponential growth from BaseDelay, capped at
+// MaxDelay, jitter within [0.5, 1.0) of the uncapped step.
+func TestRetryDelayBounds(t *testing.T) {
+	p := RetryPolicy{BaseDelay: 100 * time.Millisecond, MaxDelay: time.Second, MaxRetries: 10}.withDefaults()
+	hash := "fcde2b2edba56bf408601fb721fe9b5c338d10ee429ea04fae5511b68fbf8fb9"
+	for attempt := 0; attempt < 12; attempt++ {
+		step := p.BaseDelay << attempt
+		if step > p.MaxDelay || step <= 0 {
+			step = p.MaxDelay
+		}
+		d := p.Delay(hash, attempt)
+		if d < step/2 || d > step {
+			t.Fatalf("attempt %d: delay %s outside [%s, %s]", attempt, d, step/2, step)
+		}
+	}
+}
+
+// TestRetryableErrorTaxonomy pins the classification the issue calls
+// for: connect refused/reset, 429, 5xx and torn streams retry;
+// rejected configs, schema mismatches and failed runs do not.
+func TestRetryableErrorTaxonomy(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want bool
+	}{
+		{"connect refused", &net.OpError{Op: "dial", Err: syscall.ECONNREFUSED}, true},
+		{"connection reset", &net.OpError{Op: "read", Err: syscall.ECONNRESET}, true},
+		{"unexpected EOF mid-stream", &tornStreamError{reason: "stream died mid-read", err: io.ErrUnexpectedEOF}, true},
+		{"partial JSON line", &tornStreamError{reason: "partial or garbled event line"}, true},
+		{"missing terminal summary", &tornStreamError{reason: "stream ended without a summary"}, true},
+		{"progress stall", &tornStreamError{reason: "no event for 30s"}, true},
+		{"HTTP 429", &workerHTTPError{code: 429}, true},
+		{"HTTP 503", &workerHTTPError{code: 503}, true},
+		{"HTTP 500", &workerHTTPError{code: 500}, true},
+		{"HTTP 400", &workerHTTPError{code: 400}, false},
+		{"HTTP 404", &workerHTTPError{code: 404}, false},
+		{"worker run failed", &terminalError{errors.New("worker run failed: boom")}, false},
+		{"schema mismatch", &terminalError{errors.New("summary: unknown version")}, false},
+		{"unknown error defaults retryable", errors.New("gremlins"), true},
+	}
+	for _, tc := range cases {
+		if got := retryableError(tc.err); got != tc.want {
+			t.Errorf("%s: retryable = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// fakeClock drives a breaker without sleeping.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+// TestBreakerStateMachine walks the closed -> open -> half-open ->
+// closed cycle, including the failed-probe re-open.
+func TestBreakerStateMachine(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	var transitions []string
+	b := newBreaker(3, 5*time.Second)
+	b.now = clk.now
+	b.onTransition = func(from, to breakerState) {
+		transitions = append(transitions, fmt.Sprintf("%s->%s", from, to))
+	}
+
+	// Two failures: still closed (threshold is 3).
+	b.Failure()
+	b.Failure()
+	if st := b.State(); st != breakerClosed {
+		t.Fatalf("state after 2 failures = %s, want closed", st)
+	}
+	if !b.Allow() {
+		t.Fatal("closed breaker refused a dispatch")
+	}
+	// A success clears the consecutive count.
+	b.Success()
+	b.Failure()
+	b.Failure()
+	if st := b.State(); st != breakerClosed {
+		t.Fatalf("success did not reset the failure count")
+	}
+	// The third consecutive failure opens it.
+	b.Failure()
+	if st := b.State(); st != breakerOpen {
+		t.Fatalf("state after threshold = %s, want open", st)
+	}
+	if b.Allow() {
+		t.Fatal("open breaker allowed a dispatch inside the cooldown")
+	}
+	// Cooldown elapses: exactly one probe gets through (half-open).
+	clk.advance(6 * time.Second)
+	if !b.Allow() {
+		t.Fatal("open breaker refused the post-cooldown probe")
+	}
+	if st := b.State(); st != breakerHalfOpen {
+		t.Fatalf("state after probe admission = %s, want half-open", st)
+	}
+	if b.Allow() {
+		t.Fatal("half-open breaker admitted a second dispatch while the probe is in flight")
+	}
+	// The probe fails: back to open for another cooldown.
+	b.Failure()
+	if st := b.State(); st != breakerOpen {
+		t.Fatalf("state after failed probe = %s, want open", st)
+	}
+	if b.Allow() {
+		t.Fatal("re-opened breaker allowed a dispatch")
+	}
+	// Next cooldown, successful probe: closed again.
+	clk.advance(6 * time.Second)
+	if !b.Allow() {
+		t.Fatal("second probe refused")
+	}
+	b.Success()
+	if st := b.State(); st != breakerClosed {
+		t.Fatalf("state after successful probe = %s, want closed", st)
+	}
+
+	want := []string{
+		"closed->open", "open->half-open", "half-open->open",
+		"open->half-open", "half-open->closed",
+	}
+	if len(transitions) != len(want) {
+		t.Fatalf("transitions = %v, want %v", transitions, want)
+	}
+	for i := range want {
+		if transitions[i] != want[i] {
+			t.Fatalf("transitions = %v, want %v", transitions, want)
+		}
+	}
+}
+
+// TestBreakerDisabled: threshold <= 0 never opens and always allows —
+// the -breaker-threshold -1 escape hatch.
+func TestBreakerDisabled(t *testing.T) {
+	b := newBreaker(0, time.Second)
+	for i := 0; i < 10; i++ {
+		b.Failure()
+	}
+	if !b.Allow() || b.State() != breakerClosed {
+		t.Fatal("disabled breaker tripped")
+	}
+	var nilB *breaker
+	if !nilB.Allow() || nilB.State() != breakerClosed {
+		t.Fatal("nil breaker tripped")
+	}
+	nilB.Success()
+	nilB.Failure()
+}

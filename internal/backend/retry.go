@@ -1,0 +1,146 @@
+package backend
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"time"
+)
+
+// RetryPolicy shapes the per-worker retry loop: capped exponential
+// backoff with deterministic jitter. The jitter is seeded by the run's
+// content fingerprint, not a PRNG — re-running the same sweep under the
+// same fault schedule reproduces the exact retry timeline, which keeps
+// chaos failures debuggable and retry-order effects out of the
+// byte-identical-summaries contract.
+type RetryPolicy struct {
+	// MaxRetries is how many times a retryable failure is retried on
+	// the same worker before the dispatcher moves on (reroute, then
+	// local failover). 0 means the default (2); negative disables
+	// retries entirely.
+	MaxRetries int
+	// BaseDelay is the first backoff step (default 50ms). Attempt n
+	// waits BaseDelay<<n, capped at MaxDelay, scaled by the
+	// deterministic jitter.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff (default 2s).
+	MaxDelay time.Duration
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxRetries == 0 {
+		p.MaxRetries = 2
+	}
+	if p.MaxRetries < 0 {
+		p.MaxRetries = 0
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 50 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 2 * time.Second
+	}
+	return p
+}
+
+// Delay returns the backoff before retry `attempt` (0-based) of the
+// run identified by fingerprint hash. Pure function: exponential in the
+// attempt, capped, with a jitter factor in [0.5, 1.0) derived from
+// FNV-1a over (hash, attempt) — deterministic per run, decorrelated
+// across runs so a sweep's retries against one struggling worker do
+// not synchronize into bursts.
+func (p RetryPolicy) Delay(hash string, attempt int) time.Duration {
+	d := p.BaseDelay
+	for i := 0; i < attempt && d < p.MaxDelay; i++ {
+		d <<= 1
+	}
+	if d > p.MaxDelay {
+		d = p.MaxDelay
+	}
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(hash))
+	_, _ = h.Write([]byte{byte(attempt), byte(attempt >> 8)})
+	frac := 0.5 + 0.5*float64(h.Sum64()%4096)/4096
+	return time.Duration(float64(d) * frac)
+}
+
+// sleep waits out the backoff, or returns early with the context's
+// error if the point is canceled mid-wait.
+func (p RetryPolicy) sleep(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// The dispatch error taxonomy. Retryable errors are transient transport
+// or availability trouble — the same worker may well answer the next
+// attempt. Terminal errors would fail identically on every attempt
+// (a rejected config, an incompatible summary schema, a run the worker
+// executed and reported as failed), so retrying them only burns budget;
+// the dispatcher goes straight to reroute/failover instead.
+//
+//   - transport errors (dial refused/reset, torn connection, stall):
+//     retryable
+//   - HTTP 429 and 5xx from the worker: retryable
+//   - other HTTP statuses (4xx): terminal
+//   - torn NDJSON (partial line, stream died mid-read, missing terminal
+//     summary, reset mid-summary): retryable — the worker may have
+//     crashed mid-run and recovered
+//   - a worker "error" event or summary schema mismatch: terminal
+
+// workerHTTPError is a non-200 answer from the worker's execute
+// endpoint.
+type workerHTTPError struct {
+	code int
+	msg  string
+}
+
+func (e *workerHTTPError) Error() string {
+	return fmt.Sprintf("worker returned %d: %s", e.code, e.msg)
+}
+
+// tornStreamError is an NDJSON event stream that ended wrong: a read
+// error mid-stream, a partial (unparseable) line, a clean EOF before
+// the terminal summary, or a progress stall.
+type tornStreamError struct {
+	reason string
+	err    error // underlying transport error, may be nil
+}
+
+func (e *tornStreamError) Error() string {
+	if e.err != nil {
+		return fmt.Sprintf("torn worker stream (%s): %v", e.reason, e.err)
+	}
+	return fmt.Sprintf("torn worker stream (%s)", e.reason)
+}
+
+func (e *tornStreamError) Unwrap() error { return e.err }
+
+// terminalError marks an error the retry loop must not retry (it still
+// falls through to reroute/local failover like any worker failure).
+type terminalError struct{ err error }
+
+func (e *terminalError) Error() string { return e.err.Error() }
+func (e *terminalError) Unwrap() error { return e.err }
+
+// retryableError classifies a runOn failure. Unknown error shapes
+// default to retryable: the cost of a wasted retry is milliseconds, the
+// cost of misclassifying a transient fault as terminal is losing the
+// worker's store locality for the point.
+func retryableError(err error) bool {
+	var term *terminalError
+	if errors.As(err, &term) {
+		return false
+	}
+	var he *workerHTTPError
+	if errors.As(err, &he) {
+		return he.code == 429 || he.code >= 500
+	}
+	return true
+}

@@ -1,0 +1,186 @@
+package backend
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// ring is the health-gated worker set: the full worker list in stable
+// configuration order, plus a liveness bit per worker maintained by
+// /healthz probes. Shard assignment always hashes over the full list —
+// a worker's shard ownership never moves just because it flapped — but
+// routing consults the health bits: an unhealthy or draining worker is
+// skipped in favor of the next healthy one on the ring, and re-admitted
+// the moment a probe sees it answer "ok" again.
+//
+// A worker that answers /healthz with anything but HTTP 200 and
+// "status":"ok" is out: that includes "draining" (a worker in
+// Server.Shutdown answers 503/"draining", so coordinators stop routing
+// to it before its listener closes) and plain unreachability.
+type ring struct {
+	workers []string
+	client  *http.Client
+	log     *slog.Logger
+
+	mu      sync.Mutex
+	healthy map[string]bool
+
+	// onTransition, when non-nil, observes health flips (metrics hook).
+	onTransition func(worker string, healthy bool)
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// newRing starts with every worker healthy: routing must work before
+// the first probe completes, and an optimistic start costs at most one
+// failed dispatch (which the breaker and reroute paths absorb).
+func newRing(workers []string, client *http.Client, log *slog.Logger) *ring {
+	g := &ring{
+		workers: workers,
+		client:  client,
+		log:     log,
+		healthy: make(map[string]bool, len(workers)),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	for _, w := range workers {
+		g.healthy[w] = true
+	}
+	return g
+}
+
+// candidates returns the workers to try for a fingerprint, in order:
+// the shard owner first (hashed over the FULL list, so ownership is
+// stable across health flaps), then the rest of the ring in
+// wrap-around order — filtered down to currently healthy workers.
+// An empty slice means every worker is gated out and the caller goes
+// straight to its fallback.
+func (g *ring) candidates(hash string) []string {
+	n := len(g.workers)
+	owner := shardIndex(hash, n)
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		w := g.workers[(owner+i)%n]
+		if g.healthy[w] {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// healthyCount reports how many workers are currently admitted.
+func (g *ring) healthyCount() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	n := 0
+	for _, ok := range g.healthy {
+		if ok {
+			n++
+		}
+	}
+	return n
+}
+
+// healthyWorkers snapshots the admitted workers in ring order.
+func (g *ring) healthyWorkers() []string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]string, 0, len(g.workers))
+	for _, w := range g.workers {
+		if g.healthy[w] {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// setHealthy flips one worker's bit, reporting transitions.
+func (g *ring) setHealthy(worker string, ok bool) {
+	g.mu.Lock()
+	was := g.healthy[worker]
+	g.healthy[worker] = ok
+	g.mu.Unlock()
+	if was == ok {
+		return
+	}
+	if g.onTransition != nil {
+		g.onTransition(worker, ok)
+	}
+	if ok {
+		g.log.Info("backend: worker re-admitted to ring", "worker", worker)
+	} else {
+		g.log.Warn("backend: worker dropped from ring", "worker", worker)
+	}
+}
+
+// healthzStatus is the part of a worker's /healthz body the ring reads.
+type healthzStatus struct {
+	Status string `json:"status"`
+}
+
+// probe asks one worker's /healthz whether it can take work.
+func (g *ring) probe(ctx context.Context, worker string) bool {
+	ctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, worker+"/healthz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := g.client.Do(req)
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	if resp.StatusCode != http.StatusOK {
+		return false
+	}
+	var hz healthzStatus
+	if err := json.Unmarshal(body, &hz); err != nil {
+		return false
+	}
+	return hz.Status == "ok"
+}
+
+// checkAll runs one probe pass over every worker.
+func (g *ring) checkAll(ctx context.Context) {
+	for _, w := range g.workers {
+		g.setHealthy(w, g.probe(ctx, w))
+	}
+}
+
+// start launches the background poll loop (no-op for interval <= 0).
+func (g *ring) start(interval time.Duration) {
+	if interval <= 0 {
+		close(g.done)
+		return
+	}
+	go func() {
+		defer close(g.done)
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ticker.C:
+				g.checkAll(context.Background())
+			case <-g.stop:
+				return
+			}
+		}
+	}()
+}
+
+// shutdown stops the poll loop and waits for it to exit.
+func (g *ring) shutdown() {
+	g.stopOnce.Do(func() { close(g.stop) })
+	<-g.done
+}

@@ -37,17 +37,19 @@ func TestShardIndexStable(t *testing.T) {
 }
 
 // TestShardAssignmentOfCISmokeConfigs pins the exact shard each config
-// of the koalad-multinode-smoke CI job lands on with two workers: the
-// job asserts per-worker dispatch counters from these assignments, so
-// a change to the shard function or the fingerprint must fail here,
-// in `go test`, not as an obscure CI counter mismatch.
+// of the koalad-multinode-smoke and koalad-chaos-smoke CI jobs lands on
+// with two workers: the jobs assert per-worker dispatch counters from
+// these assignments, so a change to the shard function or the
+// fingerprint must fail here, in `go test`, not as an obscure CI
+// counter mismatch.
 func TestShardAssignmentOfCISmokeConfigs(t *testing.T) {
 	smoke := func(seed int) string {
 		return fmt.Sprintf(`{"workload":{"name":"smoke","jobs":6,"inter_arrival":30,"malleable_fraction":1,"initial_size":2,"rigid_size":2},"grid":{"clusters":[{"name":"A","nodes":48},{"name":"B","nodes":32}]},"no_background":true,"runs":2,"seed":%d}`, seed)
 	}
-	// seed -> worker index in the job's two-worker topology (seed 10 is
-	// the failover shard: it must map to the worker the job kills).
-	want := map[int]int{7: 1, 8: 0, 10: 1}
+	// seed -> worker index in the jobs' two-worker topology (seeds 10
+	// and 16 are the dead-worker shards: they must map to the worker
+	// the jobs kill, so the coordinator has to reroute them).
+	want := map[int]int{7: 1, 8: 0, 10: 1, 16: 1}
 	for seed, shard := range want {
 		spec, err := experiment.DecodeConfigSpec(strings.NewReader(smoke(seed)))
 		if err != nil {

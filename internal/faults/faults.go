@@ -1,0 +1,201 @@
+// Package faults is the repo's fault-injection harness: a scripted
+// schedule of transport faults applied to HTTP round trips (in-process,
+// for Go tests) or raw TCP connections (the proxy, for CI chaos
+// smokes). The point is falsifiability — the backend's resilience claim
+// is "every sweep summary stays byte-identical to the clean local run
+// under any fault schedule", and this package is what manufactures the
+// "any fault schedule" part deterministically.
+//
+// A Schedule is an ordered script: step i applies to the i-th request
+// (or connection); once the script is exhausted every later request
+// passes through untouched. There is no randomness anywhere — the same
+// schedule against the same traffic produces the same faults, so a
+// failing chaos run reproduces.
+//
+// The fault vocabulary, shared by the RoundTripper and the Proxy:
+//
+//	ok           pass the request through untouched
+//	drop         refuse it (connection refused / immediate close)
+//	delay=DUR    pass through after sleeping DUR
+//	reset@N      forward, then reset the connection after N response bytes
+//	truncate@N   forward, then end the response cleanly after N bytes
+//	            (a torn NDJSON stream: partial line, missing summary)
+//	CODE         answer CODE (5xx) without contacting the target
+//
+// Steps may carry a repeat count: "503*3" is a three-request 5xx burst.
+package faults
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Kind enumerates the fault vocabulary.
+type Kind string
+
+const (
+	// Pass lets the request through untouched.
+	Pass Kind = "ok"
+	// Drop refuses the request: the RoundTripper synthesizes a
+	// connection-refused error, the proxy closes the accepted
+	// connection without contacting the target.
+	Drop Kind = "drop"
+	// Delay passes the request through after sleeping Fault.Delay.
+	Delay Kind = "delay"
+	// Reset forwards the request, then severs the response with a
+	// connection reset after Fault.After bytes of body.
+	Reset Kind = "reset"
+	// Truncate forwards the request, then ends the response body
+	// cleanly (EOF, no error) after Fault.After bytes — the torn-NDJSON
+	// case: a partial JSON line or a stream that never reaches its
+	// terminal summary.
+	Truncate Kind = "truncate"
+	// Status answers Fault.Code (a 5xx) without contacting the target.
+	Status Kind = "status"
+)
+
+// Fault is one scripted step.
+type Fault struct {
+	Kind  Kind
+	After int           // response bytes before Reset/Truncate fire
+	Delay time.Duration // sleep for Delay faults
+	Code  int           // HTTP status for Status faults
+}
+
+func (f Fault) String() string {
+	switch f.Kind {
+	case Delay:
+		return fmt.Sprintf("delay=%s", f.Delay)
+	case Reset:
+		return fmt.Sprintf("reset@%d", f.After)
+	case Truncate:
+		return fmt.Sprintf("truncate@%d", f.After)
+	case Status:
+		return strconv.Itoa(f.Code)
+	default:
+		return string(f.Kind)
+	}
+}
+
+// Schedule hands out scripted faults in order, one per request. It is
+// safe for concurrent use; a nil *Schedule always passes through.
+type Schedule struct {
+	mu     sync.Mutex
+	faults []Fault
+	next   int
+	served int
+}
+
+// NewSchedule builds a schedule from explicit steps.
+func NewSchedule(faults ...Fault) *Schedule {
+	return &Schedule{faults: faults}
+}
+
+// ParseSchedule parses the comma-separated script grammar documented on
+// the package ("ok,reset@2048,503*2,delay=250ms"). An empty string is a
+// valid all-pass schedule.
+func ParseSchedule(s string) (*Schedule, error) {
+	sched := &Schedule{}
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return sched, nil
+	}
+	for _, raw := range strings.Split(s, ",") {
+		step := strings.TrimSpace(raw)
+		if step == "" {
+			return nil, fmt.Errorf("faults: empty step in schedule %q", s)
+		}
+		count := 1
+		if i := strings.LastIndex(step, "*"); i >= 0 {
+			n, err := strconv.Atoi(step[i+1:])
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("faults: bad repeat count in step %q", step)
+			}
+			count = n
+			step = step[:i]
+		}
+		f, err := parseStep(step)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < count; i++ {
+			sched.faults = append(sched.faults, f)
+		}
+	}
+	return sched, nil
+}
+
+func parseStep(step string) (Fault, error) {
+	switch {
+	case step == string(Pass):
+		return Fault{Kind: Pass}, nil
+	case step == string(Drop):
+		return Fault{Kind: Drop}, nil
+	case strings.HasPrefix(step, "delay="):
+		d, err := time.ParseDuration(step[len("delay="):])
+		if err != nil || d < 0 {
+			return Fault{}, fmt.Errorf("faults: bad delay in step %q", step)
+		}
+		return Fault{Kind: Delay, Delay: d}, nil
+	case strings.HasPrefix(step, "reset@"):
+		n, err := strconv.Atoi(step[len("reset@"):])
+		if err != nil || n < 0 {
+			return Fault{}, fmt.Errorf("faults: bad byte offset in step %q", step)
+		}
+		return Fault{Kind: Reset, After: n}, nil
+	case strings.HasPrefix(step, "truncate@"):
+		n, err := strconv.Atoi(step[len("truncate@"):])
+		if err != nil || n < 0 {
+			return Fault{}, fmt.Errorf("faults: bad byte offset in step %q", step)
+		}
+		return Fault{Kind: Truncate, After: n}, nil
+	default:
+		code, err := strconv.Atoi(step)
+		if err != nil || code < 500 || code > 599 {
+			return Fault{}, fmt.Errorf("faults: unknown step %q (want ok, drop, delay=DUR, reset@N, truncate@N or a 5xx code)", step)
+		}
+		return Fault{Kind: Status, Code: code}, nil
+	}
+}
+
+// Next returns the fault for the next request. Past the end of the
+// script (or on a nil schedule) it returns a Pass fault forever.
+func (s *Schedule) Next() Fault {
+	if s == nil {
+		return Fault{Kind: Pass}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.served++
+	if s.next >= len(s.faults) {
+		return Fault{Kind: Pass}
+	}
+	f := s.faults[s.next]
+	s.next++
+	return f
+}
+
+// Served reports how many requests have consumed a step (including
+// pass-throughs past the script's end).
+func (s *Schedule) Served() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.served
+}
+
+// Remaining reports how many scripted steps have not fired yet — a test
+// that meant to exercise every fault can assert it reaches zero.
+func (s *Schedule) Remaining() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.faults) - s.next
+}

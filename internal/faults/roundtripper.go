@@ -1,0 +1,121 @@
+package faults
+
+import (
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+)
+
+// RoundTripper injects scripted faults into HTTP round trips without a
+// network in the way: wrap a real transport with it and hand the client
+// to the code under test. Faults fire exactly as a flaky worker would
+// produce them — connection refused at dial, a 5xx before the handler,
+// a reset or clean truncation partway through the response body — so
+// the caller's error-classification and retry paths see the same error
+// shapes they meet in production.
+type RoundTripper struct {
+	// Inner performs non-faulted (and post-delay) round trips
+	// (default http.DefaultTransport).
+	Inner http.RoundTripper
+	// Schedule scripts the faults, one step per matched request. Nil
+	// passes everything through.
+	Schedule *Schedule
+	// Match restricts fault injection to matching requests (nil =
+	// every request). Non-matching requests pass straight to Inner
+	// without consuming a schedule step — so health probes sharing the
+	// client do not eat the script meant for dispatches.
+	Match func(*http.Request) bool
+}
+
+// errConnRefused mirrors a dial against a closed port.
+var errConnRefused = &net.OpError{Op: "dial", Net: "tcp", Err: syscall.ECONNREFUSED}
+
+// errConnReset mirrors a peer resetting an established connection.
+var errConnReset = &net.OpError{Op: "read", Net: "tcp", Err: syscall.ECONNRESET}
+
+// RoundTrip implements http.RoundTripper.
+func (rt *RoundTripper) RoundTrip(req *http.Request) (*http.Response, error) {
+	inner := rt.Inner
+	if inner == nil {
+		inner = http.DefaultTransport
+	}
+	if rt.Match != nil && !rt.Match(req) {
+		return inner.RoundTrip(req)
+	}
+	f := rt.Schedule.Next()
+	switch f.Kind {
+	case Drop:
+		// The request never leaves the process: drain and close the
+		// body as a real transport would, then refuse.
+		if req.Body != nil {
+			_, _ = io.Copy(io.Discard, req.Body)
+			req.Body.Close()
+		}
+		return nil, errConnRefused
+	case Delay:
+		select {
+		case <-time.After(f.Delay):
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		}
+		return inner.RoundTrip(req)
+	case Status:
+		if req.Body != nil {
+			_, _ = io.Copy(io.Discard, req.Body)
+			req.Body.Close()
+		}
+		return &http.Response{
+			Status:     strconv.Itoa(f.Code) + " " + http.StatusText(f.Code),
+			StatusCode: f.Code,
+			Proto:      req.Proto, ProtoMajor: req.ProtoMajor, ProtoMinor: req.ProtoMinor,
+			Header:  http.Header{"Content-Type": []string{"text/plain"}},
+			Body:    io.NopCloser(strings.NewReader("injected fault: " + http.StatusText(f.Code))),
+			Request: req,
+		}, nil
+	case Reset, Truncate:
+		resp, err := inner.RoundTrip(req)
+		if err != nil {
+			return nil, err
+		}
+		resp.Body = &cutBody{inner: resp.Body, remaining: f.After, reset: f.Kind == Reset}
+		return resp, nil
+	default: // Pass
+		return inner.RoundTrip(req)
+	}
+}
+
+// cutBody delivers at most `remaining` bytes of the wrapped body, then
+// either resets (a read error indistinguishable from a peer RST) or
+// truncates (clean EOF mid-stream).
+type cutBody struct {
+	inner     io.ReadCloser
+	remaining int
+	reset     bool
+}
+
+func (b *cutBody) Read(p []byte) (int, error) {
+	if b.remaining <= 0 {
+		if b.reset {
+			return 0, errConnReset
+		}
+		return 0, io.EOF
+	}
+	if len(p) > b.remaining {
+		p = p[:b.remaining]
+	}
+	n, err := b.inner.Read(p)
+	b.remaining -= n
+	if err != nil {
+		return n, err
+	}
+	if b.remaining <= 0 && b.reset {
+		return n, errConnReset
+	}
+	return n, nil
+}
+
+func (b *cutBody) Close() error { return b.inner.Close() }

@@ -195,6 +195,18 @@ func (r *Registry) CounterVec(name, help, label string) CounterVec {
 	return CounterVec{r.lookup(name, help, typeCounter, label)}
 }
 
+// GaugeVec is a gauge family keyed by one label (for example the
+// per-worker circuit-breaker state).
+type GaugeVec struct{ f *family }
+
+// With returns the child gauge for the label value.
+func (v GaugeVec) With(value string) *Gauge { return v.f.child(value).(*Gauge) }
+
+// GaugeVec registers a one-label gauge family.
+func (r *Registry) GaugeVec(name, help, label string) GaugeVec {
+	return GaugeVec{r.lookup(name, help, typeGauge, label)}
+}
+
 // HistogramVec is a histogram family keyed by one label (for example
 // the dispatch RTT histogram labeled by worker URL).
 type HistogramVec struct{ f *family }

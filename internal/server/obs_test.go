@@ -300,9 +300,11 @@ func TestFollowerDisconnectAccounting(t *testing.T) {
 	})
 
 	// Release the run and drain cleanly; a clean follower then reads to
-	// the terminal event without touching the disconnect counter.
+	// the terminal event without touching the disconnect counter. The
+	// closed channel is left in place — clearing blockRuns here would
+	// race the execute goroutine's read, and receives from a closed
+	// channel fall through anyway.
 	close(release)
-	s.blockRuns = nil
 	readEvents(t, ts, sr.ID)
 	if n := s.followerDisconnects.Value(); n != 1 {
 		t.Fatalf("disconnects after clean read = %d, want 1", n)

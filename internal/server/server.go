@@ -768,11 +768,16 @@ type healthzResponse struct {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	status := "ok"
+	// A draining daemon answers 503 + "draining": load balancers and
+	// coordinator health rings (backend's health-gated worker ring)
+	// treat anything but 200/"ok" as not-routable, so a worker in
+	// Server.Shutdown stops receiving dispatches before its listener
+	// closes instead of bouncing them one by one.
+	status, code := "ok", http.StatusOK
 	if s.closed.Load() {
-		status = "draining"
+		status, code = "draining", http.StatusServiceUnavailable
 	}
-	writeJSON(w, http.StatusOK, healthzResponse{
+	writeJSON(w, code, healthzResponse{
 		Status:        status,
 		Version:       s.opts.Version,
 		Role:          s.opts.Role,
@@ -820,6 +825,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 			metric{"koalad_dispatch_remote_total", "Runs dispatched to a worker daemon.", "counter", st.Dispatched},
 			metric{"koalad_dispatch_remote_done_total", "Runs completed by a worker daemon.", "counter", st.RemoteDone},
 			metric{"koalad_dispatch_failover_total", "Runs failed over to the local backend.", "counter", st.Failovers},
+			metric{"koalad_dispatch_retries_total", "Same-worker dispatch retries after a retryable failure.", "counter", st.Retries},
+			metric{"koalad_dispatch_reroutes_total", "Dispatch attempts rerouted off the owner shard to another healthy worker.", "counter", st.Reroutes},
+			metric{"koalad_dispatch_breaker_opens_total", "Per-worker circuit-breaker open transitions (sum over workers).", "counter", st.BreakerOpens},
 		)
 	}
 	if s.store != nil {

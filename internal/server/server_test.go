@@ -493,7 +493,9 @@ func TestGracefulShutdownDrains(t *testing.T) {
 	if _, code := postConfig(t, ts, tinyConfig); code != http.StatusServiceUnavailable {
 		t.Fatalf("POST after shutdown = %d, want 503", code)
 	}
-	// Health reports draining.
+	// Health reports draining — with a 503, so coordinator health
+	// rings and load balancers stop routing to this worker instead of
+	// discovering the drain one bounced dispatch at a time.
 	resp, err := http.Get(ts.URL + "/healthz")
 	if err != nil {
 		t.Fatal(err)
@@ -503,6 +505,9 @@ func TestGracefulShutdownDrains(t *testing.T) {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz status code while draining = %d, want 503", resp.StatusCode)
+	}
 	if hz.Status != "draining" {
 		t.Fatalf("healthz status = %q, want draining", hz.Status)
 	}
