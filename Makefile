@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench bench-smoke bench-compare vet figures serve \
+.PHONY: build test bench bench-smoke bench-compare vet figures serve load \
 	lint koalalint staticcheck vuln lint-tools
 
 build:
@@ -57,7 +57,7 @@ vuln:
 # the default each PR, or override: make bench BENCH_OUT=BENCH_PRn.json.
 # Two steps so a failing benchmark run fails the target instead of being
 # masked by the pipe's exit status.
-BENCH_OUT ?= BENCH_PR7.json
+BENCH_OUT ?= BENCH_PR9.json
 
 bench:
 	$(GO) test -run=NONE -bench=. -benchmem -count=1 . ./internal/sim ./internal/koala > bench.raw.tmp
@@ -70,7 +70,7 @@ bench-smoke:
 
 # The CI regression gate, locally: a 1x smoke run diffed against the
 # committed baseline (allocs/op gates; ns/op needs >1 iteration).
-BENCH_BASELINE ?= BENCH_PR3.json
+BENCH_BASELINE ?= BENCH_PR9.json
 
 bench-compare:
 	$(GO) test -run=NONE -bench=. -benchtime=1x -benchmem ./... > bench.smoke.tmp
@@ -84,3 +84,13 @@ figures: build
 # Run the koalad experiment server on :8080 (see README "Server mode").
 serve: build
 	$(GO) run ./cmd/koalad
+
+# One-command load test: koalaload self-hosts a koalad and drives the
+# default 2000-client fleet at it, writing the measurements as
+# $(LOAD_OUT) (benchjson schema; see docs/load.md). Exit status is
+# nonzero if any client saw an unexpected error.
+LOAD_OUT ?= BENCH_KOALALOAD.json
+LOAD_CLIENTS ?= 2000
+
+load: build
+	$(GO) run ./cmd/koalaload -self-host -clients $(LOAD_CLIENTS) -o $(LOAD_OUT)

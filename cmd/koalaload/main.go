@@ -1,0 +1,134 @@
+// Command koalaload drives a simulated-client fleet against a koalad
+// and reports what the clients experienced: p50/p95/p99 submit-to-
+// first-event and submit-to-terminal latency per behavior class,
+// events/sec fanout, throttle and error rates, and the server-side
+// cache deltas scraped from /metrics. It is the user-facing half of
+// the observability plane — docs/load.md explains how to read it.
+//
+// Usage:
+//
+//	koalaload [-url http://127.0.0.1:8080 | -self-host]
+//	          [-clients 200] [-requests 5] [-seed 1]
+//	          [-mix cachehot=5,cold=1,follower=3,disconnect=1]
+//	          [-hot 4] [-jobs 2] [-runs 1] [-op-timeout 2m]
+//	          [-o BENCH_KOALALOAD.json] [-version]
+//
+// The fleet is deterministic per -seed: the same seed issues the same
+// request schedule against the same config fingerprints, so a rerun
+// against a warm daemon is intentionally cache-hot and a new seed is
+// fully cold. With -o the measurements are also written as a
+// tools/benchjson-compatible BENCH_*.json, so load numbers ride the
+// same `benchjson -compare` regression gate as the microbenchmarks.
+//
+// -self-host starts an in-process koalad on a loopback listener and
+// aims the fleet at it — a one-command load smoke (`make load`) that
+// needs no running daemon.
+//
+// Exit status: 0 on a clean run, 1 when any client reported an
+// unexpected error (transport failures, non-429 HTTP errors, failed
+// runs — deliberate disconnects and absorbed 429s are not errors),
+// 2 on setup failures.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/buildinfo"
+	"repro/internal/loadgen"
+	"repro/internal/obs"
+	"repro/internal/server"
+)
+
+func main() {
+	version := flag.Bool("version", false, "print version and exit")
+	url := flag.String("url", "http://127.0.0.1:8080", "base URL of the koalad under test")
+	selfHost := flag.Bool("self-host", false, "start an in-process koalad on a loopback listener and load-test it (ignores -url)")
+	clients := flag.Int("clients", 200, "fleet size (goroutine-cheap simulated clients)")
+	requests := flag.Int("requests", 5, "operations per client")
+	seed := flag.Uint64("seed", 1, "fleet seed: derives every per-client PRNG and every submitted config fingerprint")
+	mixFlag := flag.String("mix", "cachehot=5,cold=1,follower=3,disconnect=1", "behavior mix as class=weight terms")
+	hot := flag.Int("hot", 4, "size of the pre-warmed cache-hot config pool")
+	jobs := flag.Int("jobs", 2, "jobs per submitted experiment")
+	runs := flag.Int("runs", 1, "replications per submitted experiment")
+	opTimeout := flag.Duration("op-timeout", 2*time.Minute, "deadline for one client operation including 429 retries")
+	out := flag.String("o", "", "also write results as benchjson-compatible JSON to this file")
+	maxRuns := flag.Int("self-host-max-runs", 2, "with -self-host: koalad -max-runs")
+	queue := flag.Int("self-host-queue", 64, "with -self-host: koalad -queue")
+	retain := flag.Int("self-host-retain", 8192, "with -self-host: koalad -retain (sized to the fleet so runs are not retired mid-stream)")
+	flag.Parse()
+
+	if *version {
+		fmt.Println(buildinfo.String("koalaload"))
+		return
+	}
+
+	mix, err := loadgen.ParseMix(*mixFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "koalaload: %v\n", err)
+		os.Exit(2)
+	}
+
+	baseURL := *url
+	if *selfHost {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "koalaload: self-host listen: %v\n", err)
+			os.Exit(2)
+		}
+		srv := server.New(server.Options{
+			MaxConcurrent: *maxRuns,
+			QueueDepth:    *queue,
+			MaxRetained:   *retain,
+			Version:       buildinfo.Version(),
+			Log:           obs.NopLogger(),
+		})
+		httpSrv := &http.Server{Handler: srv.Handler()}
+		go httpSrv.Serve(ln)
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			srv.Shutdown(ctx)
+			httpSrv.Shutdown(ctx)
+		}()
+		baseURL = "http://" + ln.Addr().String()
+		fmt.Fprintf(os.Stderr, "koalaload: self-hosting koalad at %s (max-runs %d, queue %d)\n",
+			baseURL, *maxRuns, *queue)
+	}
+
+	res, err := loadgen.Run(context.Background(), loadgen.Options{
+		BaseURL:    baseURL,
+		Clients:    *clients,
+		Requests:   *requests,
+		Seed:       *seed,
+		Mix:        mix,
+		HotConfigs: *hot,
+		Jobs:       *jobs,
+		Runs:       *runs,
+		OpTimeout:  *opTimeout,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "koalaload: %v\n", err)
+		os.Exit(2)
+	}
+
+	fmt.Print(res.HumanReport())
+
+	if *out != "" {
+		if err := res.BenchFile().Write(*out); err != nil {
+			fmt.Fprintf(os.Stderr, "koalaload: writing %s: %v\n", *out, err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "koalaload: wrote %s\n", *out)
+	}
+
+	if errs := res.Errors(); len(errs) > 0 {
+		fmt.Fprintf(os.Stderr, "koalaload: %d unexpected client error(s)\n", len(errs))
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,255 @@
+package loadgen
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"time"
+)
+
+// client is one simulated user: a behavior class, a private PRNG, and
+// private accumulators the fleet merges after the join (no shared
+// state during the run, so 2000 clients contend only on the server
+// under test, not on the harness).
+type client struct {
+	id    int
+	class Class
+	rng   *rand.Rand
+	opts  Options
+	acc   *classAccum
+}
+
+func newClient(id int, opts Options) *client {
+	return &client{
+		id:    id,
+		class: opts.Mix.classOf(id),
+		rng:   rand.New(rand.NewSource(int64(splitmix64(opts.fleetBase() ^ uint64(id))))),
+		opts:  opts,
+		acc:   newClassAccum(),
+	}
+}
+
+// run performs the client's Requests operations in sequence. Operation
+// op of a follower/disconnector targets wave round op, so all
+// same-round clients pile onto the same fingerprint and coalesce.
+func (c *client) run(ctx context.Context) {
+	for op := 0; op < c.opts.Requests; op++ {
+		if ctx.Err() != nil {
+			return
+		}
+		c.operate(ctx, op)
+	}
+}
+
+func (c *client) operate(ctx context.Context, op int) {
+	opCtx, cancel := context.WithTimeout(ctx, c.opts.OpTimeout)
+	defer cancel()
+
+	var body []byte
+	disconnectAfter := 0 // 0: hold to terminal
+	switch c.class {
+	case CacheHot:
+		body = c.opts.configJSON(CacheHot, c.opts.hotSeed(c.rng.Intn(c.opts.HotConfigs)))
+	case ColdSweep:
+		body = c.opts.configJSON(ColdSweep, c.opts.coldSeed(c.id, op))
+	case Follower:
+		body = c.opts.configJSON(Follower, c.opts.waveSeed(op))
+	case Disconnector:
+		// Same wave fingerprint as the followers, but leave after 1–3
+		// events — always before the terminal event of a live run.
+		body = c.opts.configJSON(Follower, c.opts.waveSeed(op))
+		disconnectAfter = 1 + c.rng.Intn(3)
+	}
+
+	start := time.Now()
+	var (
+		events  int
+		firstAt time.Time
+	)
+	// A run can be retired from the registry (MaxRetained) between the
+	// submit response and the events GET under heavy fleets — the stream
+	// then 404s. The POST is idempotent by content hash, so a real
+	// client's recovery is to re-submit; bound the loop so a
+	// genuinely-broken server still errors out.
+	for attempt := 0; ; attempt++ {
+		sub, err := c.submit(opCtx, body)
+		if err != nil {
+			c.acc.errorf("client %d (%s) op %d: submit: %v", c.id, c.class, op, err)
+			return
+		}
+		if attempt == 0 {
+			c.acc.submit.Add(float64(time.Since(start)))
+		} else {
+			c.acc.resubmits++
+		}
+		if sub.Cached {
+			c.acc.cached++
+		}
+		if sub.Coalesced {
+			c.acc.coalesced++
+		}
+
+		events, firstAt, err = c.stream(opCtx, sub.EventsURL, disconnectAfter)
+		c.acc.events += int64(events)
+		if errors.Is(err, errGone) && attempt < 4 && opCtx.Err() == nil {
+			continue
+		}
+		if disconnectAfter > 0 && errors.Is(err, errDisconnected) {
+			c.acc.disconnects++
+			return // deliberate hangup, not a failure and not a latency sample
+		}
+		if err != nil {
+			c.acc.errorf("client %d (%s) op %d: stream %s: %v", c.id, c.class, op, sub.EventsURL, err)
+			return
+		}
+		break
+	}
+	c.acc.firstEvent.Add(float64(firstAt.Sub(start)))
+	c.acc.terminal.Add(float64(time.Since(start)))
+	c.acc.ops++
+}
+
+// submitResponse mirrors the wire shape of POST /v1/experiments.
+type submitResponse struct {
+	ID        string `json:"id"`
+	Hash      string `json:"hash"`
+	Status    string `json:"status"`
+	Cached    bool   `json:"cached"`
+	Coalesced bool   `json:"coalesced"`
+	EventsURL string `json:"events_url"`
+}
+
+// submit POSTs the config, retrying 429 backpressure with capped
+// exponential backoff and PRNG jitter. Throttles are counted but are
+// not errors — backpressure working as designed; only exhausting the
+// op deadline turns into a giveup error.
+func (c *client) submit(ctx context.Context, body []byte) (submitResponse, error) {
+	backoff := 5 * time.Millisecond
+	for {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.opts.BaseURL+"/v1/experiments", bytes.NewReader(body))
+		if err != nil {
+			return submitResponse{}, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := c.opts.HTTPClient.Do(req)
+		if err != nil {
+			return submitResponse{}, err
+		}
+		if resp.StatusCode == http.StatusTooManyRequests {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			c.acc.throttled++
+			jitter := time.Duration(c.rng.Int63n(int64(backoff)))
+			select {
+			case <-ctx.Done():
+				return submitResponse{}, fmt.Errorf("gave up after %d throttles: %w", c.acc.throttled, ctx.Err())
+			case <-time.After(backoff + jitter):
+			}
+			if backoff < 500*time.Millisecond {
+				backoff *= 2
+			}
+			continue
+		}
+		rb, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+		if err != nil {
+			return submitResponse{}, err
+		}
+		if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusCreated && resp.StatusCode != http.StatusAccepted {
+			return submitResponse{}, fmt.Errorf("POST /v1/experiments: %s: %s", resp.Status, truncate(rb, 200))
+		}
+		var sub submitResponse
+		if err := json.Unmarshal(rb, &sub); err != nil {
+			return submitResponse{}, fmt.Errorf("decode submit response: %w", err)
+		}
+		if sub.EventsURL == "" {
+			return submitResponse{}, fmt.Errorf("submit response for %s has no events_url", sub.ID)
+		}
+		return sub, nil
+	}
+}
+
+// errDisconnected marks a deliberate mid-stream hangup.
+var errDisconnected = errors.New("loadgen: deliberate disconnect")
+
+// errGone marks an events URL whose run has been retired (404) —
+// recoverable by re-submitting the config.
+var errGone = errors.New("loadgen: run retired")
+
+// streamEvent is the minimal probe of an NDJSON line: just enough to
+// spot the terminal event.
+type streamEvent struct {
+	Type  string `json:"type"`
+	Error string `json:"error"`
+}
+
+// stream follows the run's NDJSON event stream. It returns the number
+// of events read and the arrival time of the first one. With
+// disconnectAfter > 0 it closes the connection after that many events
+// and returns errDisconnected — unless the stream ends first (a cached
+// replay can be shorter than the hangup depth). A terminal
+// `{"type":"error"}` event is a client-visible run failure and is
+// returned as an error.
+func (c *client) stream(ctx context.Context, url string, disconnectAfter int) (events int, firstAt time.Time, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.opts.BaseURL+url, nil)
+	if err != nil {
+		return 0, time.Time{}, err
+	}
+	resp, err := c.opts.HTTPClient.Do(req)
+	if err != nil {
+		return 0, time.Time{}, err
+	}
+	defer func() {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+	}()
+	if resp.StatusCode == http.StatusNotFound {
+		return 0, time.Time{}, errGone
+	}
+	if resp.StatusCode != http.StatusOK {
+		return 0, time.Time{}, fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		events++
+		if events == 1 {
+			firstAt = time.Now()
+		}
+		var ev streamEvent
+		if jsonErr := json.Unmarshal(line, &ev); jsonErr != nil {
+			return events, firstAt, fmt.Errorf("malformed event %d: %w", events, jsonErr)
+		}
+		switch ev.Type {
+		case "summary":
+			return events, firstAt, nil
+		case "error":
+			return events, firstAt, fmt.Errorf("run failed: %s", ev.Error)
+		}
+		if disconnectAfter > 0 && events >= disconnectAfter {
+			return events, firstAt, errDisconnected
+		}
+	}
+	if scErr := sc.Err(); scErr != nil {
+		return events, firstAt, scErr
+	}
+	return events, firstAt, fmt.Errorf("stream ended without terminal event after %d events", events)
+}
+
+func truncate(b []byte, n int) string {
+	if len(b) <= n {
+		return string(bytes.TrimSpace(b))
+	}
+	return string(bytes.TrimSpace(b[:n])) + "..."
+}

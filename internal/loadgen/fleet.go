@@ -1,0 +1,109 @@
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Run executes one fleet run: pre-warm the cache-hot pool, scrape
+// /metrics, launch the clients, join, scrape again, and merge every
+// client's private accumulators (in client-index order, so aggregation
+// is deterministic) into Results.
+//
+// Run returns an error only for setup failures — bad options, an
+// unreachable server, a failed warmup. Per-client errors during the
+// run are data, not failures: they land in Results and the caller
+// decides whether any are acceptable.
+func Run(ctx context.Context, opts Options) (Results, error) {
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return Results{}, err
+	}
+
+	if err := warmup(ctx, opts); err != nil {
+		return Results{}, fmt.Errorf("loadgen: warmup: %w", err)
+	}
+
+	before := scrapeCounters(ctx, opts.HTTPClient, opts.BaseURL)
+
+	clients := make([]*client, opts.Clients)
+	for i := range clients {
+		clients[i] = newClient(i, opts)
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for _, c := range clients {
+		wg.Add(1)
+		go func(c *client) {
+			defer wg.Done()
+			c.run(ctx)
+		}(c)
+	}
+	wg.Wait()
+	duration := time.Since(start)
+
+	after := scrapeCounters(ctx, opts.HTTPClient, opts.BaseURL)
+
+	res := Results{
+		Options:  opts,
+		Duration: duration,
+		Classes:  make([]ClassResult, numClasses),
+		Server:   after.Delta(before),
+	}
+	merged := make([]*classAccum, numClasses)
+	for cl := range merged {
+		merged[cl] = newClassAccum()
+		res.Classes[cl].Class = Class(cl)
+	}
+	for _, c := range clients {
+		res.Classes[c.class].Clients++
+		merged[c.class].merge(c.acc)
+	}
+	for cl, acc := range merged {
+		r := &res.Classes[cl]
+		r.Ops = acc.ops
+		r.Events = acc.events
+		r.Cached = acc.cached
+		r.Coalesced = acc.coalesced
+		r.Throttled = acc.throttled
+		r.Resubmits = acc.resubmits
+		r.Disconnects = acc.disconnects
+		r.Errors = sortedClassErrors(acc.errs)
+		r.Submit = latencyOf(acc.submit)
+		r.FirstEvent = latencyOf(acc.firstEvent)
+		r.Terminal = latencyOf(acc.terminal)
+	}
+	return res, nil
+}
+
+// warmup submits every hot-pool config and waits for its terminal
+// event, so cache-hot clients measure the hit path from their first
+// operation instead of folding one cold simulation into the
+// distribution. Serial on purpose: the pool is small and warmup is
+// not measured. Skipped when the mix fields no cache-hot clients.
+func warmup(ctx context.Context, opts Options) error {
+	if opts.Mix.CacheHot == 0 {
+		return nil
+	}
+	// A synthetic client outside the fleet's id range; its accumulator
+	// is discarded.
+	w := newClient(-1, opts)
+	w.class = CacheHot
+	for i := 0; i < opts.HotConfigs; i++ {
+		wCtx, cancel := context.WithTimeout(ctx, opts.OpTimeout)
+		sub, err := w.submit(wCtx, opts.configJSON(CacheHot, opts.hotSeed(i)))
+		if err != nil {
+			cancel()
+			return fmt.Errorf("hot config %d: %w", i, err)
+		}
+		if _, _, err := w.stream(wCtx, sub.EventsURL, 0); err != nil {
+			cancel()
+			return fmt.Errorf("hot config %d (run %s): %w", i, sub.ID, err)
+		}
+		cancel()
+	}
+	return nil
+}

@@ -1,0 +1,249 @@
+package loadgen
+
+import (
+	"context"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+	"repro/tools/benchjson/benchfmt"
+)
+
+func TestMixClassOfExactProportions(t *testing.T) {
+	m := DefaultMix() // 5/1/3/1
+	counts := map[Class]int{}
+	for i := 0; i < 2000; i++ {
+		counts[m.classOf(i)]++
+	}
+	want := map[Class]int{CacheHot: 1000, ColdSweep: 200, Follower: 600, Disconnector: 200}
+	for cl, n := range want {
+		if counts[cl] != n {
+			t.Errorf("class %s: %d clients, want %d", cl, counts[cl], n)
+		}
+	}
+}
+
+func TestParseMix(t *testing.T) {
+	m, err := ParseMix("cachehot=2,cold=1,follower=0,disconnect=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != (Mix{CacheHot: 2, ColdSweep: 1, Follower: 0, Disconnector: 1}) {
+		t.Fatalf("ParseMix = %+v", m)
+	}
+	for _, bad := range []string{"", "cachehot", "cachehot=x", "nope=1", "cachehot=0,cold=0"} {
+		if _, err := ParseMix(bad); err == nil {
+			t.Errorf("ParseMix(%q) accepted", bad)
+		}
+	}
+}
+
+func TestSeedDerivationDisjointAndDeterministic(t *testing.T) {
+	o, err := Options{BaseURL: "http://x", Clients: 100, Requests: 5}.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[uint64]string{}
+	note := func(s uint64, kind string) {
+		if prev, ok := seen[s]; ok && prev != kind {
+			t.Fatalf("seed %d derived by both %s and %s", s, prev, kind)
+		}
+		seen[s] = kind
+	}
+	for i := 0; i < o.HotConfigs; i++ {
+		note(o.hotSeed(i), "hot")
+	}
+	for r := 0; r < o.Requests; r++ {
+		note(o.waveSeed(r), "wave")
+	}
+	for c := 0; c < o.Clients; c++ {
+		for op := 0; op < o.Requests; op++ {
+			note(o.coldSeed(c, op), "cold")
+		}
+	}
+	// Cold seeds are unique per (client, op); total count checks that.
+	if len(seen) != o.HotConfigs+o.Requests+o.Clients*o.Requests {
+		t.Fatalf("seed collision: %d distinct seeds", len(seen))
+	}
+	// A different fleet seed shifts every derived seed.
+	o2 := o
+	o2.Seed = 7
+	if o2.hotSeed(0) == o.hotSeed(0) || o2.coldSeed(3, 1) == o.coldSeed(3, 1) {
+		t.Fatal("fleet seed does not separate derived config seeds")
+	}
+}
+
+// TestFleetAgainstInProcessKoalad is the package's end-to-end check: a
+// small mixed fleet against a real server.New handler, asserting zero
+// unexpected client errors, samples in every class, a cache-hit delta
+// from /metrics, and a BenchFile that round-trips through the
+// benchfmt loader (i.e. is accepted by `benchjson -compare`).
+func TestFleetAgainstInProcessKoalad(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet run in -short mode")
+	}
+	srv := server.New(server.Options{MaxConcurrent: 2, QueueDepth: 64})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	res, err := Run(ctx, Options{
+		BaseURL:    ts.URL,
+		Clients:    40,
+		Requests:   3,
+		Seed:       1,
+		HotConfigs: 2,
+		HTTPClient: ts.Client(),
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+
+	if errs := res.Errors(); len(errs) != 0 {
+		t.Fatalf("fleet reported %d unexpected client errors, e.g.:\n%s", len(errs), errs[0])
+	}
+	if res.TotalOps() == 0 || res.TotalEvents() == 0 {
+		t.Fatalf("fleet did no work: %d ops, %d events", res.TotalOps(), res.TotalEvents())
+	}
+	for _, cl := range []Class{CacheHot, ColdSweep, Follower} {
+		c := res.Classes[cl]
+		if c.Clients == 0 {
+			t.Fatalf("%s: no clients assigned", cl)
+		}
+		if c.Terminal.N == 0 {
+			t.Errorf("%s: no submit-to-terminal samples", cl)
+		}
+		if c.FirstEvent.N == 0 {
+			t.Errorf("%s: no first-event samples", cl)
+		}
+		if c.Terminal.P99 < c.Terminal.P50 {
+			t.Errorf("%s: p99 %.3fms < p50 %.3fms", cl, c.Terminal.P99, c.Terminal.P50)
+		}
+	}
+	// Cache-hot clients re-POST a warmed pool: every one of their
+	// submissions must be a cache hit.
+	hot := res.Classes[CacheHot]
+	if hot.Cached == 0 {
+		t.Error("cachehot clients never hit the cache")
+	}
+	// Disconnectors must actually have hung up at least once (on a
+	// replayed run the stream can end before the hangup depth, so not
+	// every op disconnects — but across ops some must).
+	if d := res.Classes[Disconnector]; d.Clients > 0 && d.Disconnects == 0 {
+		t.Error("disconnector clients never disconnected")
+	}
+	if !res.Server.Found {
+		t.Fatal("/metrics scrape failed")
+	}
+	if res.Server.CacheHits <= 0 {
+		t.Errorf("server cache-hit delta = %.0f, want > 0", res.Server.CacheHits)
+	}
+
+	// The BenchFile must survive the same loader the -compare gate uses.
+	f := res.BenchFile()
+	path := filepath.Join(t.TempDir(), "BENCH_KOALALOAD.json")
+	if err := f.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := benchfmt.Load(path)
+	if err != nil {
+		t.Fatalf("BenchFile does not round-trip through benchfmt.Load: %v", err)
+	}
+	for _, name := range []string{
+		"Koalaload/cachehot/first_event",
+		"Koalaload/cachehot/terminal",
+		"Koalaload/coldsweep/terminal",
+		"Koalaload/follower/terminal",
+		"Koalaload/fleet",
+	} {
+		if _, ok := loaded.Benchmarks[name]; !ok {
+			t.Errorf("BenchFile missing %s", name)
+		}
+	}
+	hotFE := loaded.Benchmarks["Koalaload/cachehot/first_event"]
+	if hotFE.Iterations <= 1 {
+		t.Errorf("cachehot first_event iterations = %d; -compare would skip its ns/op", hotFE.Iterations)
+	}
+	if hotFE.NsPerOp <= 0 {
+		t.Errorf("cachehot first_event p99 = %v ns", hotFE.NsPerOp)
+	}
+	// Comparing a run against itself must pass the gate.
+	if _, regs := benchfmt.Compare(loaded, loaded, 10); len(regs) != 0 {
+		t.Fatalf("self-compare regressed: %+v", regs)
+	}
+
+	if os.Getenv("KOALALOAD_TEST_VERBOSE") != "" {
+		t.Log("\n" + res.HumanReport())
+	}
+}
+
+// TestFleetScheduleDeterminism pins reproducibility: two fleets with
+// the same seed submit the same set of config fingerprints (observed
+// via identical cache behavior on a shared server — the second fleet's
+// cold sweeps all hit the results the first fleet populated), and a
+// different seed is fully cold again.
+func TestFleetScheduleDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet run in -short mode")
+	}
+	srv := server.New(server.Options{MaxConcurrent: 2, QueueDepth: 64})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	opts := Options{
+		BaseURL: ts.URL, Clients: 10, Requests: 2, Seed: 42,
+		HotConfigs: 2, HTTPClient: ts.Client(),
+		// Retention large enough that nothing the first fleet ran has
+		// been evicted when the second fleet re-submits it.
+	}
+	first, err := Run(ctx, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errs := first.Errors(); len(errs) != 0 {
+		t.Fatalf("first fleet errors: %v", errs)
+	}
+	second, err := Run(ctx, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errs := second.Errors(); len(errs) != 0 {
+		t.Fatalf("second fleet errors: %v", errs)
+	}
+	// Same seed: the second fleet's cold sweeps re-submit fingerprints
+	// the first fleet already completed, so nothing misses.
+	if second.Server.CacheMisses != 0 {
+		t.Errorf("same-seed rerun caused %.0f cache misses, want 0", second.Server.CacheMisses)
+	}
+	cold := second.Classes[ColdSweep]
+	if cold.Ops > 0 && cold.Cached != cold.Ops {
+		t.Errorf("same-seed rerun: %d of %d cold ops cached", cold.Cached, cold.Ops)
+	}
+
+	// A different seed is cold again: its cold sweeps must miss.
+	optsCold := opts
+	optsCold.Seed = 43
+	third, err := Run(ctx, optsCold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if third.Server.CacheMisses == 0 {
+		t.Error("new-seed fleet caused no cache misses")
+	}
+}

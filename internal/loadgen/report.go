@@ -1,0 +1,321 @@
+package loadgen
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/stats"
+	"repro/tools/benchjson/benchfmt"
+)
+
+// classAccum is one client's private measurement plane: latency
+// streams on stats.Online+Sketch plus behavior counters. Clients never
+// share an accumulator — the fleet merges them in client-index order
+// after the join, so the aggregation itself is deterministic.
+type classAccum struct {
+	submit     *stats.Stream // POST round trip (ns)
+	firstEvent *stats.Stream // POST start -> first NDJSON event (ns)
+	terminal   *stats.Stream // POST start -> terminal summary/error (ns)
+
+	ops         int64 // operations that reached the terminal event
+	events      int64 // NDJSON events read (all streams, incl. partial)
+	cached      int64 // submissions answered from the result cache
+	coalesced   int64 // submissions coalesced onto an in-flight run
+	throttled   int64 // 429 responses absorbed by backoff
+	resubmits   int64 // re-POSTs after a retired run's stream 404ed
+	disconnects int64 // deliberate mid-stream hangups
+	errs        []string
+}
+
+func newClassAccum() *classAccum {
+	return &classAccum{
+		submit:     stats.NewStream(),
+		firstEvent: stats.NewStream(),
+		terminal:   stats.NewStream(),
+	}
+}
+
+const maxErrorsKept = 32
+
+func (a *classAccum) errorf(format string, args ...any) {
+	if len(a.errs) < maxErrorsKept {
+		a.errs = append(a.errs, fmt.Sprintf(format, args...))
+	} else {
+		a.errs[maxErrorsKept-1] = fmt.Sprintf("... and more (%s)", fmt.Sprintf(format, args...))
+	}
+}
+
+func (a *classAccum) merge(b *classAccum) {
+	a.submit.Merge(b.submit)
+	a.firstEvent.Merge(b.firstEvent)
+	a.terminal.Merge(b.terminal)
+	a.ops += b.ops
+	a.events += b.events
+	a.cached += b.cached
+	a.coalesced += b.coalesced
+	a.throttled += b.throttled
+	a.resubmits += b.resubmits
+	a.disconnects += b.disconnects
+	for _, e := range b.errs {
+		if len(a.errs) < maxErrorsKept {
+			a.errs = append(a.errs, e)
+		}
+	}
+}
+
+// Latency is one latency distribution in milliseconds.
+type Latency struct {
+	N    int
+	Mean float64
+	P50  float64
+	P95  float64
+	P99  float64
+	Max  float64
+}
+
+func latencyOf(s *stats.Stream) Latency {
+	if s.N() == 0 {
+		return Latency{}
+	}
+	toMs := func(ns float64) float64 { return ns / 1e6 }
+	return Latency{
+		N:    s.N(),
+		Mean: toMs(s.Online.Mean()),
+		P50:  toMs(s.Sketch.Quantile(0.50)),
+		P95:  toMs(s.Sketch.Quantile(0.95)),
+		P99:  toMs(s.Sketch.Quantile(0.99)),
+		Max:  toMs(s.Online.Max()),
+	}
+}
+
+// ClassResult is the per-behavior-class slice of a fleet run.
+type ClassResult struct {
+	Class       Class
+	Clients     int
+	Ops         int64 // operations that reached the terminal event
+	Events      int64
+	Cached      int64
+	Coalesced   int64
+	Throttled   int64
+	Resubmits   int64
+	Disconnects int64
+	Errors      []string
+
+	Submit     Latency // POST round trip
+	FirstEvent Latency // submit -> first event
+	Terminal   Latency // submit -> terminal event
+}
+
+// ServerCounters is the slice of /metrics the fleet reads before and
+// after a run; Delta(before, after) is what the run itself caused.
+type ServerCounters struct {
+	CacheHits      float64
+	CacheCoalesced float64
+	CacheMisses    float64
+	Found          bool // false when /metrics was unreachable or unparseable
+}
+
+// Delta returns after-before, counter by counter.
+func (after ServerCounters) Delta(before ServerCounters) ServerCounters {
+	return ServerCounters{
+		CacheHits:      after.CacheHits - before.CacheHits,
+		CacheCoalesced: after.CacheCoalesced - before.CacheCoalesced,
+		CacheMisses:    after.CacheMisses - before.CacheMisses,
+		Found:          after.Found && before.Found,
+	}
+}
+
+// Results is everything a fleet run measured.
+type Results struct {
+	Options  Options
+	Duration time.Duration
+	Classes  []ClassResult  // dense, indexed by Class, zero-client classes included
+	Server   ServerCounters // /metrics delta attributable to this run
+}
+
+// TotalOps sums terminal-reaching operations across classes.
+func (r Results) TotalOps() int64 {
+	var n int64
+	for _, c := range r.Classes {
+		n += c.Ops
+	}
+	return n
+}
+
+// TotalEvents sums NDJSON events read across classes.
+func (r Results) TotalEvents() int64 {
+	var n int64
+	for _, c := range r.Classes {
+		n += c.Events
+	}
+	return n
+}
+
+// EventsPerSec is the fleet-wide NDJSON fanout rate.
+func (r Results) EventsPerSec() float64 {
+	if r.Duration <= 0 {
+		return 0
+	}
+	return float64(r.TotalEvents()) / r.Duration.Seconds()
+}
+
+// Errors collects every class's unexpected client errors.
+func (r Results) Errors() []string {
+	var all []string
+	for _, c := range r.Classes {
+		all = append(all, c.Errors...)
+	}
+	return all
+}
+
+// scrapeCounters pulls the cache counters off /metrics. Best-effort:
+// a missing or unparseable endpoint yields Found=false, never an error
+// — the fleet's own measurements stand on their own.
+func scrapeCounters(ctx context.Context, hc *http.Client, baseURL string) ServerCounters {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/metrics", nil)
+	if err != nil {
+		return ServerCounters{}
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return ServerCounters{}
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return ServerCounters{}
+	}
+	var sc ServerCounters
+	scn := bufio.NewScanner(resp.Body)
+	scn.Buffer(make([]byte, 64*1024), 1<<20)
+	for scn.Scan() {
+		line := scn.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, val, ok := strings.Cut(line, " ")
+		if !ok {
+			continue
+		}
+		f, err := strconv.ParseFloat(strings.TrimSpace(val), 64)
+		if err != nil {
+			continue
+		}
+		switch name {
+		case "koalad_cache_hits_total":
+			sc.CacheHits, sc.Found = f, true
+		case "koalad_cache_coalesced_total":
+			sc.CacheCoalesced, sc.Found = f, true
+		case "koalad_cache_misses_total":
+			sc.CacheMisses, sc.Found = f, true
+		}
+	}
+	if scn.Err() != nil {
+		return ServerCounters{}
+	}
+	return sc
+}
+
+// HumanReport renders the run for a terminal.
+func (r Results) HumanReport() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "koalaload: %d clients x %d ops against %s (seed %d) in %s\n",
+		r.Options.Clients, r.Options.Requests, r.Options.BaseURL, r.Options.Seed,
+		r.Duration.Round(time.Millisecond))
+	fmt.Fprintf(&b, "fleet: %d ops reached terminal, %d events read (%.0f events/sec)\n",
+		r.TotalOps(), r.TotalEvents(), r.EventsPerSec())
+	if r.Server.Found {
+		fmt.Fprintf(&b, "server cache delta: %+.0f hits, %+.0f coalesced, %+.0f misses\n",
+			r.Server.CacheHits, r.Server.CacheCoalesced, r.Server.CacheMisses)
+	} else {
+		b.WriteString("server cache delta: /metrics not scraped\n")
+	}
+	for _, c := range r.Classes {
+		if c.Clients == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "\n%-12s %d clients, %d ops, %d events, %d cached, %d coalesced, %d throttled, %d resubmits, %d disconnects\n",
+			c.Class, c.Clients, c.Ops, c.Events, c.Cached, c.Coalesced, c.Throttled, c.Resubmits, c.Disconnects)
+		writeLatency := func(label string, l Latency) {
+			if l.N == 0 {
+				return
+			}
+			fmt.Fprintf(&b, "  %-12s n=%-6d p50=%8.2fms  p95=%8.2fms  p99=%8.2fms  mean=%8.2fms  max=%8.2fms\n",
+				label, l.N, l.P50, l.P95, l.P99, l.Mean, l.Max)
+		}
+		writeLatency("submit", c.Submit)
+		writeLatency("first_event", c.FirstEvent)
+		writeLatency("terminal", c.Terminal)
+		if len(c.Errors) > 0 {
+			fmt.Fprintf(&b, "  ERRORS (%d):\n", len(c.Errors))
+			for _, e := range c.Errors {
+				fmt.Fprintf(&b, "    %s\n", e)
+			}
+		}
+	}
+	return b.String()
+}
+
+// BenchFile renders the run in the BENCH_*.json schema so load numbers
+// ride the same benchjson -compare gate as the microbenchmarks.
+// Each class/phase pair becomes one "benchmark": ns/op is the p99 in
+// nanoseconds (the gated headline), iterations is the sample count,
+// and the full p50/p95/p99/mean distribution rides along as custom
+// metrics in milliseconds.
+func (r Results) BenchFile() benchfmt.File {
+	f := benchfmt.New()
+	put := func(name string, l Latency) {
+		if l.N == 0 {
+			return
+		}
+		f.Benchmarks[name] = benchfmt.Result{
+			Package:    "repro/internal/loadgen",
+			Iterations: int64(l.N),
+			NsPerOp:    l.P99 * 1e6,
+			Metrics: map[string]float64{
+				"p50-ms":  l.P50,
+				"p95-ms":  l.P95,
+				"p99-ms":  l.P99,
+				"mean-ms": l.Mean,
+			},
+		}
+	}
+	for _, c := range r.Classes {
+		if c.Clients == 0 {
+			continue
+		}
+		base := "Koalaload/" + c.Class.String()
+		put(base+"/submit", c.Submit)
+		put(base+"/first_event", c.FirstEvent)
+		put(base+"/terminal", c.Terminal)
+	}
+	fleet := benchfmt.Result{
+		Package:    "repro/internal/loadgen",
+		Iterations: r.TotalOps(),
+		Metrics: map[string]float64{
+			"events/sec": r.EventsPerSec(),
+			"errors":     float64(len(r.Errors())),
+		},
+	}
+	if r.Server.Found {
+		fleet.Metrics["cache-hits"] = r.Server.CacheHits
+		fleet.Metrics["cache-coalesced"] = r.Server.CacheCoalesced
+		fleet.Metrics["cache-misses"] = r.Server.CacheMisses
+	}
+	f.Benchmarks["Koalaload/fleet"] = fleet
+	return f
+}
+
+// sortedClassErrors keeps error output deterministic for tests.
+func sortedClassErrors(errs []string) []string {
+	out := append([]string(nil), errs...)
+	sort.Strings(out)
+	return out
+}

@@ -191,6 +191,8 @@ func TestMetricsExpositionRoundTrip(t *testing.T) {
 	fams := parseProm(t, text)
 
 	for _, want := range []struct{ name, typ string }{
+		{"koalad_goroutines", "gauge"},
+		{"koalad_registry_runs", "gauge"},
 		{"koalad_queue_depth", "gauge"},
 		{"koalad_replications_total", "counter"},
 		{"koalad_cache_hit_rate", "gauge"},
@@ -215,6 +217,14 @@ func TestMetricsExpositionRoundTrip(t *testing.T) {
 		if f.typ == "histogram" {
 			checkHistogram(t, name, f)
 		}
+	}
+	// The process gauges must carry live values: a running server has
+	// goroutines, and exactly the one completed run is registered.
+	if v := fams["koalad_goroutines"].samples[0].value; v < 1 {
+		t.Errorf("koalad_goroutines = %g, want >= 1", v)
+	}
+	if v := fams["koalad_registry_runs"].samples[0].value; v != 1 {
+		t.Errorf("koalad_registry_runs = %g, want 1", v)
 	}
 	// The completed run must have landed one observation in the queue
 	// and duration histograms.

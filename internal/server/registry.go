@@ -56,10 +56,17 @@ type Run struct {
 	// around forever.
 	localOnly bool
 
-	mu      sync.Mutex
-	status  Status
-	events  []json.RawMessage
-	changed chan struct{} // closed and replaced on every append
+	mu     sync.Mutex
+	status Status
+	events []json.RawMessage
+	// changed coalesces subscriber wakeups: nil while nobody waits
+	// (appends then cost no channel churn at all — the common case,
+	// since most events land before any follower attaches or after all
+	// have drained), allocated by next() when a subscriber is about to
+	// block, closed-and-nilled by the next append. All concurrent
+	// waiters share one channel, so a burst of appends wakes each
+	// follower once, not once per event.
+	changed chan struct{}
 	summary *experiment.StreamSummary
 	errMsg  string
 
@@ -89,7 +96,6 @@ func newRun(id, hash string, cfg experiment.Config, source string) *Run {
 		Source:      source,
 		cfg:         cfg,
 		status:      StatusQueued,
-		changed:     make(chan struct{}),
 		submittedAt: time.Now(),
 		trace:       obs.NewTrace(""),
 	}
@@ -137,8 +143,10 @@ func (r *Run) append(v any, terminal Status) {
 	if terminal != "" {
 		r.status = terminal
 	}
-	close(r.changed)
-	r.changed = make(chan struct{})
+	if r.changed != nil {
+		close(r.changed)
+		r.changed = nil
+	}
 }
 
 // setStatus transitions a non-terminal state (queued → running).
@@ -231,20 +239,34 @@ func (r *Run) Snapshot() (Status, *experiment.StreamSummary, string) {
 }
 
 // next returns the events from index i on, whether the run is in a
-// terminal state, and a channel closed on the next append — everything
-// an event subscriber needs for replay-then-follow.
+// terminal state, and — only when the subscriber has nothing to do but
+// block (no new events, not terminal) — a channel closed on the next
+// append. When events or the terminal state are returned the channel
+// is nil: the subscriber must consume and call next again rather than
+// wait, which is what lets append skip channel churn entirely while
+// followers are busy draining.
 func (r *Run) next(i int) (evs []json.RawMessage, terminal bool, changed <-chan struct{}) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if i < len(r.events) {
 		evs = r.events[i:]
 	}
-	return evs, r.status == StatusDone || r.status == StatusFailed, r.changed
+	terminal = r.status == StatusDone || r.status == StatusFailed
+	if len(evs) == 0 && !terminal {
+		if r.changed == nil {
+			r.changed = make(chan struct{})
+		}
+		changed = r.changed
+	}
+	return evs, terminal, changed
 }
 
-// Registry assigns run IDs and resolves them.
+// Registry assigns run IDs and resolves them. Reads (every event
+// stream, status GET and metrics gauge resolves through here) take a
+// shared lock so they never serialize behind each other — only
+// create/adopt/remove write.
 type Registry struct {
-	mu   sync.Mutex
+	mu   sync.RWMutex
 	runs map[string]*Run
 	seq  int
 }
@@ -306,12 +328,12 @@ func parseRunSeq(id string) (int, bool) {
 // All returns a snapshot of every registered run, ordered by run
 // sequence (creation/adoption order across restarts).
 func (g *Registry) All() []*Run {
-	g.mu.Lock()
+	g.mu.RLock()
 	runs := make([]*Run, 0, len(g.runs))
 	for _, run := range g.runs {
 		runs = append(runs, run)
 	}
-	g.mu.Unlock()
+	g.mu.RUnlock()
 	sort.Slice(runs, func(i, j int) bool {
 		ni, iok := parseRunSeq(runs[i].ID)
 		nj, jok := parseRunSeq(runs[j].ID)
@@ -328,8 +350,8 @@ func (g *Registry) All() []*Run {
 
 // Get resolves a run ID, or nil.
 func (g *Registry) Get(id string) *Run {
-	g.mu.Lock()
-	defer g.mu.Unlock()
+	g.mu.RLock()
+	defer g.mu.RUnlock()
 	return g.runs[id]
 }
 
@@ -343,8 +365,8 @@ func (g *Registry) Remove(id string) {
 
 // Len returns the number of registered runs.
 func (g *Registry) Len() int {
-	g.mu.Lock()
-	defer g.mu.Unlock()
+	g.mu.RLock()
+	defer g.mu.RUnlock()
 	return len(g.runs)
 }
 

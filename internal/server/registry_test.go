@@ -1,0 +1,163 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/experiment"
+)
+
+// TestRunManyFollowersCoalescedWakeup pins the lazy-broadcast contract
+// of Run.append/Run.next under contention: many concurrent followers
+// replay-then-follow one run while an appender races them, and every
+// follower must observe the complete event log, in order, ending at
+// the terminal event — no lost wakeups, no duplicated or reordered
+// events, no follower wedged on a channel the appender forgot to
+// close. Run under -race this also pins the locking itself.
+func TestRunManyFollowersCoalescedWakeup(t *testing.T) {
+	const (
+		followers = 64
+		appends   = 200
+	)
+	run := newRun("exp-1", "hash", experiment.Config{Name: "wakeup"}, SourceLive)
+
+	type payload struct {
+		Type string `json:"type"`
+		Seq  int    `json:"seq"`
+	}
+
+	var wg sync.WaitGroup
+	logs := make([][]int, followers)
+	for f := 0; f < followers; f++ {
+		wg.Add(1)
+		go func(f int) {
+			defer wg.Done()
+			i := 0
+			for {
+				evs, terminal, changed := run.next(i)
+				for _, raw := range evs {
+					var p payload
+					if err := json.Unmarshal(raw, &p); err != nil {
+						t.Errorf("follower %d: event %d: %v", f, i, err)
+						return
+					}
+					logs[f] = append(logs[f], p.Seq)
+					i++
+				}
+				if terminal {
+					return
+				}
+				if len(evs) > 0 {
+					continue
+				}
+				<-changed
+			}
+		}(f)
+	}
+
+	for seq := 0; seq < appends; seq++ {
+		terminal := Status("")
+		if seq == appends-1 {
+			terminal = StatusDone
+		}
+		run.append(payload{Type: "tick", Seq: seq}, terminal)
+	}
+	wg.Wait()
+
+	for f, log := range logs {
+		if len(log) != appends {
+			t.Fatalf("follower %d saw %d of %d events", f, len(log), appends)
+		}
+		for i, seq := range log {
+			if seq != i {
+				t.Fatalf("follower %d: event %d has seq %d (reordered or skipped)", f, i, seq)
+			}
+		}
+	}
+}
+
+// TestRunNextBlocksOnlyWhenIdle pins the other half of the contract:
+// next hands out a wakeup channel only when the subscriber has nothing
+// to consume, and appends on a run nobody follows never allocate one.
+func TestRunNextBlocksOnlyWhenIdle(t *testing.T) {
+	run := newRun("exp-1", "hash", experiment.Config{}, SourceLive)
+
+	// Nothing appended: a subscriber at the head must get a channel.
+	evs, terminal, changed := run.next(0)
+	if len(evs) != 0 || terminal || changed == nil {
+		t.Fatalf("next(0) on empty run = %d events, terminal=%v, changed=%v", len(evs), terminal, changed == nil)
+	}
+
+	run.append(map[string]string{"type": "tick"}, "")
+	select {
+	case <-changed:
+	default:
+		t.Fatal("append did not close the subscriber's wakeup channel")
+	}
+
+	// With events pending, next must return them and no channel: the
+	// subscriber's job is to drain, not to wait.
+	evs, terminal, changed = run.next(0)
+	if len(evs) != 1 || terminal || changed != nil {
+		t.Fatalf("next(0) with 1 pending = %d events, terminal=%v, changed nil=%v", len(evs), terminal, changed == nil)
+	}
+
+	// Appends with no blocked subscriber keep the channel nil (no churn).
+	run.mu.Lock()
+	if run.changed != nil {
+		run.mu.Unlock()
+		t.Fatal("append allocated a wakeup channel with no waiter")
+	}
+	run.mu.Unlock()
+
+	// Terminal state: events + terminal, never a channel.
+	run.append(map[string]string{"type": "summary"}, StatusDone)
+	evs, terminal, changed = run.next(1)
+	if len(evs) != 1 || !terminal || changed != nil {
+		t.Fatalf("next at terminal = %d events, terminal=%v, changed nil=%v", len(evs), terminal, changed == nil)
+	}
+	// Fully drained and terminal.
+	evs, terminal, changed = run.next(2)
+	if len(evs) != 0 || !terminal || changed != nil {
+		t.Fatalf("next past terminal = %d events, terminal=%v, changed nil=%v", len(evs), terminal, changed == nil)
+	}
+}
+
+// TestRegistryConcurrentReadersAndWriters exercises the RWMutex'd
+// registry under -race: resolves and lists racing creates and removes.
+func TestRegistryConcurrentReadersAndWriters(t *testing.T) {
+	g := NewRegistry()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 8; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				g.Get(fmt.Sprintf("exp-%d", i%64+1))
+				g.Len()
+				if i%16 == 0 {
+					g.All()
+				}
+			}
+		}()
+	}
+	for i := 0; i < 64; i++ {
+		run := g.Create("h", experiment.Config{}, nil)
+		if i%2 == 0 {
+			g.Remove(run.ID)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if got := g.Len(); got != 32 {
+		t.Fatalf("registry holds %d runs, want 32", got)
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"log/slog"
 	"net/http"
 	"net/http/pprof"
+	"runtime"
 	"runtime/debug"
 	"strconv"
 	"sync"
@@ -306,21 +307,24 @@ func (s *Server) decodeSubmission(w http.ResponseWriter, r *http.Request) (spec 
 // coordinator's trace (same trace ID, root parented under the
 // dispatch span).
 func (s *Server) admit(spec *experiment.ConfigSpec, cfg experiment.Config, hash string, localOnly bool, parent obs.SpanContext) (run *Run, status Status, created bool, err error) {
-	s.admitMu.Lock()
+	// Fast path, no admission lock: a fingerprint already resident in
+	// the cache — the overwhelmingly common case under read-heavy load —
+	// is answered straight from the Lookup. admitMu exists to make
+	// miss->create atomic (two identical submissions must not both
+	// simulate); serving an already-cached run needs none of that, and
+	// taking the lock here would serialize every cache-hit POST behind
+	// whatever miss is currently journaling and spawning inside it.
 	if existing := s.cache.Lookup(hash); existing != nil {
-		status := existing.Status()
+		run, status = s.serveCached(existing, hash)
+		return run, status, false, nil
+	}
+	s.admitMu.Lock()
+	// Double-check under the lock: an identical config may have been
+	// admitted between the fast-path miss and here.
+	if existing := s.cache.Lookup(hash); existing != nil {
 		s.admitMu.Unlock()
-		if status == StatusDone {
-			s.cache.countHit()
-			if existing.Source == SourceStore {
-				s.storeHits.Add(1)
-			}
-			s.log.Info("koalad: cache hit", "run", existing.ID, "hash", shortHash(hash))
-		} else {
-			s.cache.countCoalesce()
-			s.log.Info("koalad: coalesced identical submission", "run", existing.ID, "hash", shortHash(hash))
-		}
-		return existing, status, false, nil
+		run, status = s.serveCached(existing, hash)
+		return run, status, false, nil
 	}
 	// Memory missed; the on-disk store may still hold the result (a
 	// retention-evicted run, or one never loaded at recovery). Adopting
@@ -376,6 +380,25 @@ func (s *Server) admit(spec *experiment.ConfigSpec, cfg experiment.Config, hash 
 		"run", run.ID, "name", run.Name, "runs", cfg.Runs, "hash", shortHash(hash), "trace", run.trace.ID)
 	go s.execute(run)
 	return run, run.Status(), true, nil
+}
+
+// serveCached accounts for a submission answered by an already-cached
+// run: a hit when the run is terminal, a coalesce onto it in flight.
+// The status is classified once so the counters and the HTTP response
+// agree even if the run finishes in between.
+func (s *Server) serveCached(existing *Run, hash string) (*Run, Status) {
+	status := existing.Status()
+	if status == StatusDone {
+		s.cache.countHit()
+		if existing.Source == SourceStore {
+			s.storeHits.Add(1)
+		}
+		s.log.Info("koalad: cache hit", "run", existing.ID, "hash", shortHash(hash))
+	} else {
+		s.cache.countCoalesce()
+		s.log.Info("koalad: coalesced identical submission", "run", existing.ID, "hash", shortHash(hash))
+	}
+	return existing, status
 }
 
 // writeAdmitError maps an admission failure onto its HTTP response.
@@ -730,6 +753,12 @@ func (s *Server) streamRun(w http.ResponseWriter, r *http.Request, run *Run) {
 		if terminal {
 			return
 		}
+		if len(evs) > 0 {
+			// More events may have landed while these were being written;
+			// drain before blocking (next only hands out a wakeup channel
+			// when there is truly nothing to do).
+			continue
+		}
 		select {
 		case <-changed:
 		case <-r.Context().Done():
@@ -801,6 +830,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		value           any
 	}
 	metrics := []metric{
+		// Process-level gauges: what a fleet operator correlates client
+		// latency against (see docs/load.md).
+		{"koalad_goroutines", "Goroutines in the process (followers hold one each).", "gauge", runtime.NumGoroutine()},
+		{"koalad_registry_runs", "Runs resident in the registry (live + retained terminal).", "gauge", s.registry.Len()},
 		{"koalad_queue_depth", "Admitted runs waiting for a concurrency slot.", "gauge", s.queued.Load()},
 		{"koalad_active_runs", "Runs currently executing.", "gauge", s.activeRuns.Load()},
 		{"koalad_active_simulations", "Replications currently simulating.", "gauge", s.activeSims.Load()},

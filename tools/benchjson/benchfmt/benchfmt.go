@@ -1,11 +1,72 @@
-package main
+// Package benchfmt is the BENCH_*.json schema and regression gate
+// shared by the benchjson CLI and every other producer of perf
+// trajectory files (cmd/koalaload writes its fleet results in this
+// format so load numbers ride the same -compare gate as the
+// microbenchmarks).
+package benchfmt
 
 import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 )
+
+// Result is one benchmark's measurement.
+type Result struct {
+	Package     string             `json:"package,omitempty"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op,omitempty"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// File is the BENCH_*.json schema.
+type File struct {
+	GoVersion  string            `json:"go_version"`
+	GoOS       string            `json:"goos"`
+	GoArch     string            `json:"goarch"`
+	Benchmarks map[string]Result `json:"benchmarks"`
+}
+
+// New returns an empty File stamped with this build's toolchain and
+// platform.
+func New() File {
+	return File{
+		GoVersion:  runtime.Version(),
+		GoOS:       runtime.GOOS,
+		GoArch:     runtime.GOARCH,
+		Benchmarks: map[string]Result{},
+	}
+}
+
+// Load reads a BENCH_*.json produced by this schema. A file without a
+// single benchmark is an error: gating against it would pass vacuously.
+func Load(path string) (File, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return File{}, err
+	}
+	var f File
+	if err := json.Unmarshal(b, &f); err != nil {
+		return File{}, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(f.Benchmarks) == 0 {
+		return File{}, fmt.Errorf("%s: no benchmarks", path)
+	}
+	return f, nil
+}
+
+// Write marshals the file (indented, trailing newline) to path.
+func (f File) Write(path string) error {
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
 
 // Absolute slack under which a delta is noise, not a regression: tiny
 // benchmarks jitter by a few ns or a warmup allocation, and a pure
@@ -29,27 +90,11 @@ func allocSlack(oldR, newR Result) float64 {
 	return allocsSlack
 }
 
-// loadFile reads a BENCH_*.json produced by this tool.
-func loadFile(path string) (File, error) {
-	b, err := os.ReadFile(path)
-	if err != nil {
-		return File{}, err
-	}
-	var f File
-	if err := json.Unmarshal(b, &f); err != nil {
-		return File{}, fmt.Errorf("%s: %w", path, err)
-	}
-	if len(f.Benchmarks) == 0 {
-		return File{}, fmt.Errorf("%s: no benchmarks", path)
-	}
-	return f, nil
-}
-
-// regression is one metric of one benchmark exceeding the gate.
-type regression struct {
-	name, metric string
-	oldV, newV   float64
-	deltaPercent float64
+// Regression is one metric of one benchmark exceeding the gate.
+type Regression struct {
+	Name, Metric string
+	Old, New     float64
+	DeltaPercent float64
 }
 
 // exceeds applies the gate: relative growth beyond threshold percent
@@ -64,11 +109,11 @@ func exceeds(oldV, newV, threshold, slack float64) (float64, bool) {
 	return pct, pct > threshold && newV-oldV > slack
 }
 
-// compareFiles diffs new against old benchmark by benchmark, returning
-// a human report and the regressions that should fail the gate.
+// Compare diffs new against old benchmark by benchmark, returning a
+// human report and the regressions that should fail the gate.
 // Benchmarks present on only one side are reported but never fail —
 // suites legitimately grow and shrink across PRs.
-func compareFiles(oldFile, newFile File, threshold float64) (report []string, regs []regression) {
+func Compare(oldFile, newFile File, threshold float64) (report []string, regs []Regression) {
 	names := make([]string, 0, len(oldFile.Benchmarks))
 	for name := range oldFile.Benchmarks {
 		names = append(names, name)
@@ -86,7 +131,7 @@ func compareFiles(oldFile, newFile File, threshold float64) (report []string, re
 		// -benchtime=1x smoke measures a single call, cold.
 		if oldR.NsPerOp > 0 && newR.NsPerOp > 0 && oldR.Iterations > 1 && newR.Iterations > 1 {
 			if pct, bad := exceeds(oldR.NsPerOp, newR.NsPerOp, threshold, nsSlack); bad {
-				regs = append(regs, regression{name, "ns/op", oldR.NsPerOp, newR.NsPerOp, pct})
+				regs = append(regs, Regression{name, "ns/op", oldR.NsPerOp, newR.NsPerOp, pct})
 				report = append(report, fmt.Sprintf("REG %-60s ns/op     %12.1f -> %12.1f (%+.1f%%)",
 					name, oldR.NsPerOp, newR.NsPerOp, pct))
 			} else {
@@ -95,7 +140,7 @@ func compareFiles(oldFile, newFile File, threshold float64) (report []string, re
 			}
 		}
 		if pct, bad := exceeds(oldR.AllocsPerOp, newR.AllocsPerOp, threshold, allocSlack(oldR, newR)); bad {
-			regs = append(regs, regression{name, "allocs/op", oldR.AllocsPerOp, newR.AllocsPerOp, pct})
+			regs = append(regs, Regression{name, "allocs/op", oldR.AllocsPerOp, newR.AllocsPerOp, pct})
 			report = append(report, fmt.Sprintf("REG %-60s allocs/op %12.0f -> %12.0f (%+.1f%%)",
 				name, oldR.AllocsPerOp, newR.AllocsPerOp, pct))
 		} else if oldR.AllocsPerOp > 0 || newR.AllocsPerOp > 0 {

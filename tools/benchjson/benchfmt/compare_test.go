@@ -1,4 +1,4 @@
-package main
+package benchfmt
 
 import (
 	"strings"
@@ -24,12 +24,12 @@ func TestCompareFlagsRegressions(t *testing.T) {
 		"BenchmarkTiny": bench(100, 80, 6),       // +100%, but inside absolute slack
 		"BenchmarkNew":  bench(100, 1, 1),
 	})
-	report, regs := compareFiles(oldF, newF, 10)
+	report, regs := Compare(oldF, newF, 10)
 	if len(regs) != 2 {
 		t.Fatalf("regressions = %d (%+v), want ns/op + allocs/op of BenchmarkHot", len(regs), regs)
 	}
 	for _, r := range regs {
-		if r.name != "BenchmarkHot" {
+		if r.Name != "BenchmarkHot" {
 			t.Errorf("unexpected regression: %+v", r)
 		}
 	}
@@ -44,12 +44,12 @@ func TestCompareFlagsRegressions(t *testing.T) {
 func TestCompareWithinThresholdPasses(t *testing.T) {
 	oldF := file(map[string]Result{"BenchmarkHot": bench(100, 10000, 1000)})
 	newF := file(map[string]Result{"BenchmarkHot": bench(100, 10500, 1040)}) // +5%, +4%
-	if _, regs := compareFiles(oldF, newF, 10); len(regs) != 0 {
+	if _, regs := Compare(oldF, newF, 10); len(regs) != 0 {
 		t.Fatalf("within-threshold diff flagged: %+v", regs)
 	}
 	// Improvements never fail, however large.
 	better := file(map[string]Result{"BenchmarkHot": bench(100, 2000, 100)})
-	if _, regs := compareFiles(oldF, better, 10); len(regs) != 0 {
+	if _, regs := Compare(oldF, better, 10); len(regs) != 0 {
 		t.Fatalf("improvement flagged: %+v", regs)
 	}
 }
@@ -60,7 +60,7 @@ func TestCompareWithinThresholdPasses(t *testing.T) {
 func TestCompareSkipsTimeOfSingleIterationRuns(t *testing.T) {
 	oldF := file(map[string]Result{"BenchmarkHot": bench(100, 10000, 1000)})
 	newF := file(map[string]Result{"BenchmarkHot": bench(1, 900000, 1010)}) // 90x slower "time", 1 iteration
-	report, regs := compareFiles(oldF, newF, 10)
+	report, regs := Compare(oldF, newF, 10)
 	if len(regs) != 0 {
 		t.Fatalf("1x-iteration time flagged: %+v", regs)
 	}
@@ -69,7 +69,7 @@ func TestCompareSkipsTimeOfSingleIterationRuns(t *testing.T) {
 	}
 	// Allocations of the same run still gate.
 	newF = file(map[string]Result{"BenchmarkHot": bench(1, 900000, 1500)})
-	if _, regs := compareFiles(oldF, newF, 10); len(regs) != 1 {
+	if _, regs := Compare(oldF, newF, 10); len(regs) != 1 {
 		t.Fatalf("1x-iteration alloc regression missed: %+v", regs)
 	}
 }
@@ -81,16 +81,16 @@ func TestCompareSkipsTimeOfSingleIterationRuns(t *testing.T) {
 func TestCompareColdRunAllocSlack(t *testing.T) {
 	oldF := file(map[string]Result{"BenchmarkZeroAlloc": bench(1000, 500, 0)})
 	warm := file(map[string]Result{"BenchmarkZeroAlloc": bench(1, 500, 16)})
-	if _, regs := compareFiles(oldF, warm, 10); len(regs) != 0 {
+	if _, regs := Compare(oldF, warm, 10); len(regs) != 0 {
 		t.Fatalf("cold-run warmup allocations flagged: %+v", regs)
 	}
 	bad := file(map[string]Result{"BenchmarkZeroAlloc": bench(1, 500, 64)})
-	if _, regs := compareFiles(oldF, bad, 10); len(regs) != 1 {
+	if _, regs := Compare(oldF, bad, 10); len(regs) != 1 {
 		t.Fatalf("cold-run real regression missed: %+v", regs)
 	}
 	// Steady-state runs keep the strict slack.
 	steady := file(map[string]Result{"BenchmarkZeroAlloc": bench(1000, 500, 16)})
-	if _, regs := compareFiles(oldF, steady, 10); len(regs) != 1 {
+	if _, regs := Compare(oldF, steady, 10); len(regs) != 1 {
 		t.Fatalf("steady-state regression missed: %+v", regs)
 	}
 }
@@ -98,11 +98,11 @@ func TestCompareColdRunAllocSlack(t *testing.T) {
 func TestCompareZeroBaselineUsesAbsoluteSlack(t *testing.T) {
 	oldF := file(map[string]Result{"BenchmarkZero": bench(100, 100, 0)})
 	ok := file(map[string]Result{"BenchmarkZero": bench(100, 100, 4)})
-	if _, regs := compareFiles(oldF, ok, 10); len(regs) != 0 {
+	if _, regs := Compare(oldF, ok, 10); len(regs) != 0 {
 		t.Fatalf("slack-sized growth over zero baseline flagged: %+v", regs)
 	}
 	bad := file(map[string]Result{"BenchmarkZero": bench(100, 100, 40)})
-	if _, regs := compareFiles(oldF, bad, 10); len(regs) != 1 {
+	if _, regs := Compare(oldF, bad, 10); len(regs) != 1 {
 		t.Fatalf("real growth over zero baseline missed: %+v", regs)
 	}
 }

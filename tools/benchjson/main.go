@@ -28,25 +28,9 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+
+	"repro/tools/benchjson/benchfmt"
 )
-
-// Result is one benchmark's parsed measurement.
-type Result struct {
-	Package     string             `json:"package,omitempty"`
-	Iterations  int64              `json:"iterations"`
-	NsPerOp     float64            `json:"ns_per_op,omitempty"`
-	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
-	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
-	Metrics     map[string]float64 `json:"metrics,omitempty"`
-}
-
-// File is the BENCH_*.json schema.
-type File struct {
-	GoVersion  string            `json:"go_version"`
-	GoOS       string            `json:"goos"`
-	GoArch     string            `json:"goarch"`
-	Benchmarks map[string]Result `json:"benchmarks"`
-}
 
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
@@ -74,17 +58,17 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchjson: -threshold must be >= 0")
 			os.Exit(2)
 		}
-		oldFile, err := loadFile(oldPath)
+		oldFile, err := benchfmt.Load(oldPath)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(2)
 		}
-		newFile, err := loadFile(newPath)
+		newFile, err := benchfmt.Load(newPath)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(2)
 		}
-		report, regs := compareFiles(oldFile, newFile, *threshold)
+		report, regs := benchfmt.Compare(oldFile, newFile, *threshold)
 		for _, line := range report {
 			fmt.Println(line)
 		}
@@ -97,12 +81,7 @@ func main() {
 		return
 	}
 
-	file := File{
-		GoVersion:  runtime.Version(),
-		GoOS:       runtime.GOOS,
-		GoArch:     runtime.GOARCH,
-		Benchmarks: map[string]Result{},
-	}
+	file := benchfmt.New()
 
 	pkg := ""
 	sc := bufio.NewScanner(os.Stdin)
@@ -134,7 +113,7 @@ func main() {
 		if err != nil {
 			continue
 		}
-		res := Result{Package: pkg, Iterations: iters}
+		res := benchfmt.Result{Package: pkg, Iterations: iters}
 		// The remainder is (value, unit) pairs.
 		for i := 2; i+1 < len(fields); i += 2 {
 			v, err := strconv.ParseFloat(fields[i], 64)
