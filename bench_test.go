@@ -231,6 +231,31 @@ func BenchmarkEndToEndPRARun(b *testing.B) {
 	}
 }
 
+// BenchmarkEndToEndPRABatched is BenchmarkEndToEndPRARun through the
+// shared-setup path: one Prepare amortized over all replications, the way
+// Run/RunStream execute a sweep point. The delta against the single-shot
+// benchmark is the per-replication setup cost batching eliminates.
+func BenchmarkEndToEndPRABatched(b *testing.B) {
+	prep, err := experiment.Prepare(experiment.Config{
+		Workload: workload.Wm(1),
+		Policy:   "EGS",
+		Approach: "PRA",
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := prep.RunOnce(uint64(i + 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Records) != 300 {
+			b.Fatalf("records = %d", len(res.Records))
+		}
+	}
+}
+
 // BenchmarkAblationPolicies compares all four malleability policies
 // (FPSMA, EGS and the §III baselines Equipartition and Folding) on Wm and
 // reports mean execution times.

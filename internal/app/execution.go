@@ -48,9 +48,13 @@ type Execution struct {
 	onFinish   func()
 
 	startTime float64
-	// allocation history for metrics: (time, procs) steps
-	histTimes []float64
-	histProcs []int
+	// allocation history for metrics: (time, procs) steps. The inline
+	// buffers cover rigid jobs and lightly-adapted malleable ones without
+	// heap growth.
+	histTimes    []float64
+	histProcs    []int
+	histTimesBuf [8]float64
+	histProcsBuf [8]int
 }
 
 // NewExecution starts an application of the given profile at procs
@@ -71,6 +75,8 @@ func NewExecution(engine *sim.Engine, profile *Profile, procs int, onFinish func
 		startTime: engine.Now(),
 	}
 	x.lastUpdate = engine.Now()
+	x.histTimes = x.histTimesBuf[:0]
+	x.histProcs = x.histProcsBuf[:0]
 	x.record(procs)
 	x.reschedule()
 	return x

@@ -95,13 +95,26 @@ const maxPlanActions = 2
 
 // Handler executes individual actions on behalf of the framework. The
 // Malleable Runner implements it against GRAM and the application process;
-// tests implement it directly. Each method calls done exactly once when the
-// action completes; Acquire reports how many processors were actually
-// obtained (the environment may deliver fewer than asked).
+// tests implement it directly. Each method resumes the framework exactly
+// once when the action completes — Acquire through fw.AcquireDone with how
+// many processors were actually obtained (the environment may deliver
+// fewer than asked), Recruit and Release through fw.StepDone. The framework
+// passes itself instead of per-action callbacks so the §V-C hot path
+// allocates no bound-method closures.
 type Handler interface {
-	Acquire(n int, done func(held int))
-	Recruit(n int, done func())
-	Release(n int, done func())
+	Acquire(n int, fw *Framework)
+	Recruit(n int, fw *Framework)
+	Release(n int, fw *Framework)
+}
+
+// Frontend is the runner-side monitor the framework reports into: Size
+// returns the application's current processor count, and AdaptationDone
+// receives an acknowledgment for every processed event. It is an interface
+// rather than a pair of funcs so that one frontend object serves every
+// adaptation without per-framework closure allocations.
+type Frontend interface {
+	Size() int
+	AdaptationDone(Result)
 }
 
 // Result reports a completed adaptation back to the monitor's frontend.
@@ -118,19 +131,19 @@ type Framework struct {
 	engine   *sim.Engine
 	strategy Strategy
 	handler  Handler
-	size     func() int // current processor count of the application
-
-	onResult func(Result)
+	front    Frontend
 
 	busy bool
 	// pending is a head-indexed FIFO of queued events (re-slicing from the
-	// front would force an append reallocation per Notify under churn).
+	// front would force an append reallocation per Notify under churn);
+	// pendingBuf is its inline backing for the common shallow queues.
 	pending     []Event
 	pendingHead int
+	pendingBuf  [4]Event
 
 	// Current adaptation, executed as a small state machine: the action
-	// list lives in a fixed buffer and the handler's completion callbacks
-	// are the two method values below, bound once at New — the §V-C hot
+	// list lives in a fixed buffer and the handler resumes the plan by
+	// calling AcquireDone/StepDone on the framework itself — the §V-C hot
 	// path allocates neither plans nor per-action closures.
 	curEv       Event
 	curActions  [maxPlanActions]Action
@@ -138,29 +151,28 @@ type Framework struct {
 	curIdx      int
 	curAccepted int
 
-	acquireDone func(held int)
-	stepDone    func()
-
 	adaptations uint64
 }
 
-// New assembles a framework. size reports the application's current
-// processor count; onResult (may be nil) receives an acknowledgment for
-// every processed event.
-func New(engine *sim.Engine, strategy Strategy, handler Handler, size func() int, onResult func(Result)) *Framework {
-	if strategy == nil || handler == nil || size == nil {
+// New assembles a framework over the given frontend (which reports the
+// application's current processor count and receives adaptation results).
+func New(engine *sim.Engine, strategy Strategy, handler Handler, front Frontend) *Framework {
+	f := &Framework{}
+	f.Init(engine, strategy, handler, front)
+	return f
+}
+
+// Init initialises a zero Framework in place — the allocation-free form of
+// New for owners that embed the framework by value.
+func (f *Framework) Init(engine *sim.Engine, strategy Strategy, handler Handler, front Frontend) {
+	if strategy == nil || handler == nil || front == nil {
 		panic("dynaco: nil component")
 	}
-	f := &Framework{
-		engine:   engine,
-		strategy: strategy,
-		handler:  handler,
-		size:     size,
-		onResult: onResult,
-	}
-	f.acquireDone = f.onAcquireDone
-	f.stepDone = f.onStepDone
-	return f
+	f.engine = engine
+	f.strategy = strategy
+	f.handler = handler
+	f.front = front
+	f.pending = f.pendingBuf[:0]
 }
 
 // Adaptations returns how many adaptations have completed (grow or shrink,
@@ -194,7 +206,7 @@ func (f *Framework) drain() {
 }
 
 func (f *Framework) process(ev Event) {
-	current := f.size()
+	current := f.front.Size()
 	var accepted int
 	switch ev.Kind {
 	case GrowRequest:
@@ -224,8 +236,8 @@ func (f *Framework) process(ev Event) {
 }
 
 // step runs the current action; each action's completion re-enters through
-// the pre-bound acquireDone/stepDone callbacks, so one adaptation executes
-// as a closure-free state machine.
+// AcquireDone/StepDone, so one adaptation executes as a closure-free state
+// machine.
 func (f *Framework) step() {
 	if f.curIdx >= f.curLen {
 		f.busy = false
@@ -236,19 +248,19 @@ func (f *Framework) step() {
 	act := f.curActions[f.curIdx]
 	switch act.Op {
 	case OpAcquire:
-		f.handler.Acquire(act.N, f.acquireDone)
+		f.handler.Acquire(act.N, f)
 	case OpRecruit:
-		f.handler.Recruit(act.N, f.stepDone)
+		f.handler.Recruit(act.N, f)
 	case OpRelease:
-		f.handler.Release(act.N, f.stepDone)
+		f.handler.Release(act.N, f)
 	default:
 		panic(fmt.Sprintf("dynaco: unknown op %v", act.Op))
 	}
 }
 
-// onAcquireDone resumes the plan after an acquisition completed, adapting
-// the remainder to what the environment actually delivered.
-func (f *Framework) onAcquireDone(held int) {
+// AcquireDone resumes the plan after the handler completed an acquisition,
+// adapting the remainder to what the environment actually delivered.
+func (f *Framework) AcquireDone(held int) {
 	if held < f.curActions[f.curIdx].N {
 		f.curAccepted = held
 		if held == 0 {
@@ -263,17 +275,16 @@ func (f *Framework) onAcquireDone(held int) {
 	f.step()
 }
 
-// onStepDone resumes the plan after a recruit or release completed.
-func (f *Framework) onStepDone() {
+// StepDone resumes the plan after the handler completed a recruit or
+// release.
+func (f *Framework) StepDone() {
 	f.curIdx++
 	f.step()
 }
 
 func (f *Framework) finish(ev Event, accepted int) {
 	f.adaptations++
-	if f.onResult != nil {
-		f.onResult(Result{Event: ev, Accepted: accepted})
-	}
+	f.front.AdaptationDone(Result{Event: ev, Accepted: accepted})
 }
 
 // PreDecided is the strategy for frontends that already ran the decide step

@@ -15,24 +15,33 @@ type fakeHandler struct {
 	heldOverride func(n int) int // optional: deliver fewer than asked
 }
 
-func (h *fakeHandler) Acquire(n int, done func(int)) {
+func (h *fakeHandler) Acquire(n int, fw *Framework) {
 	h.actions = append(h.actions, Action{OpAcquire, n})
 	held := n
 	if h.heldOverride != nil {
 		held = h.heldOverride(n)
 	}
-	h.engine.After(h.acquireDelay, func() { done(held) })
+	h.engine.After(h.acquireDelay, func() { fw.AcquireDone(held) })
 }
 
-func (h *fakeHandler) Recruit(n int, done func()) {
+func (h *fakeHandler) Recruit(n int, fw *Framework) {
 	h.actions = append(h.actions, Action{OpRecruit, n})
-	h.engine.After(1, done)
+	h.engine.After(1, fw.StepDone)
 }
 
-func (h *fakeHandler) Release(n int, done func()) {
+func (h *fakeHandler) Release(n int, fw *Framework) {
 	h.actions = append(h.actions, Action{OpRelease, n})
-	h.engine.After(2, done)
+	h.engine.After(2, fw.StepDone)
 }
+
+// fakeFrontend reports a fixed size and records results.
+type fakeFrontend struct {
+	size    int
+	results []Result
+}
+
+func (f *fakeFrontend) Size() int               { return f.size }
+func (f *fakeFrontend) AdaptationDone(r Result) { f.results = append(f.results, r) }
 
 type fixedStrategy struct{ grow, shrink int }
 
@@ -46,17 +55,16 @@ func min(a, b int) int {
 	return b
 }
 
-func setup(strategy Strategy) (*sim.Engine, *fakeHandler, *Framework, *[]Result) {
+func setup(strategy Strategy) (*sim.Engine, *fakeHandler, *Framework, *fakeFrontend) {
 	e := sim.New()
 	h := &fakeHandler{engine: e, acquireDelay: 5}
-	size := 4
-	var results []Result
-	f := New(e, strategy, h, func() int { return size }, func(r Result) { results = append(results, r) })
-	return e, h, f, &results
+	fr := &fakeFrontend{size: 4}
+	f := New(e, strategy, h, fr)
+	return e, h, f, fr
 }
 
 func TestGrowRunsAcquireThenRecruit(t *testing.T) {
-	e, h, f, results := setup(fixedStrategy{grow: 8, shrink: 8})
+	e, h, f, fr := setup(fixedStrategy{grow: 8, shrink: 8})
 	f.Notify(Event{Kind: GrowRequest, Amount: 3})
 	e.Run()
 	if len(h.actions) != 2 || h.actions[0].Op != OpAcquire || h.actions[1].Op != OpRecruit {
@@ -65,8 +73,8 @@ func TestGrowRunsAcquireThenRecruit(t *testing.T) {
 	if h.actions[0].N != 3 || h.actions[1].N != 3 {
 		t.Fatalf("action sizes = %v", h.actions)
 	}
-	if len(*results) != 1 || (*results)[0].Accepted != 3 {
-		t.Fatalf("results = %v", *results)
+	if len(fr.results) != 1 || fr.results[0].Accepted != 3 {
+		t.Fatalf("results = %v", fr.results)
 	}
 	if f.Adaptations() != 1 {
 		t.Fatalf("adaptations = %d", f.Adaptations())
@@ -74,32 +82,33 @@ func TestGrowRunsAcquireThenRecruit(t *testing.T) {
 }
 
 func TestShrinkRunsRelease(t *testing.T) {
-	e, h, _, results := setup(fixedStrategy{grow: 8, shrink: 8})
-	fw := New(e, fixedStrategy{shrink: 8}, h, func() int { return 10 }, func(r Result) { *results = append(*results, r) })
+	e, h, _, _ := setup(fixedStrategy{grow: 8, shrink: 8})
+	fr := &fakeFrontend{size: 10}
+	fw := New(e, fixedStrategy{shrink: 8}, h, fr)
 	fw.Notify(Event{Kind: ShrinkRequest, Amount: 4})
 	e.Run()
 	if len(h.actions) != 1 || h.actions[0].Op != OpRelease || h.actions[0].N != 4 {
 		t.Fatalf("actions = %v", h.actions)
 	}
-	if len(*results) != 1 || (*results)[0].Accepted != 4 {
-		t.Fatalf("results = %v", *results)
+	if len(fr.results) != 1 || fr.results[0].Accepted != 4 {
+		t.Fatalf("results = %v", fr.results)
 	}
 }
 
 func TestDeclinedEventReportsZero(t *testing.T) {
-	e, h, f, results := setup(fixedStrategy{grow: 0, shrink: 0})
+	e, h, f, fr := setup(fixedStrategy{grow: 0, shrink: 0})
 	f.Notify(Event{Kind: GrowRequest, Amount: 5})
 	e.Run()
 	if len(h.actions) != 0 {
 		t.Fatalf("declined grow ran actions: %v", h.actions)
 	}
-	if len(*results) != 1 || (*results)[0].Accepted != 0 {
-		t.Fatalf("results = %v", *results)
+	if len(fr.results) != 1 || fr.results[0].Accepted != 0 {
+		t.Fatalf("results = %v", fr.results)
 	}
 }
 
 func TestAdaptationsSerialize(t *testing.T) {
-	e, h, f, results := setup(fixedStrategy{grow: 8, shrink: 8})
+	e, h, f, fr := setup(fixedStrategy{grow: 8, shrink: 8})
 	f.Notify(Event{Kind: GrowRequest, Amount: 2})
 	f.Notify(Event{Kind: GrowRequest, Amount: 1})
 	if !f.Busy() {
@@ -119,8 +128,8 @@ func TestAdaptationsSerialize(t *testing.T) {
 			t.Fatalf("actions = %v", h.actions)
 		}
 	}
-	if len(*results) != 2 {
-		t.Fatalf("results = %v", *results)
+	if len(fr.results) != 2 {
+		t.Fatalf("results = %v", fr.results)
 	}
 	if f.Busy() || f.PendingEvents() != 0 {
 		t.Fatal("framework should be idle at the end")
@@ -130,30 +139,30 @@ func TestAdaptationsSerialize(t *testing.T) {
 func TestPartialAcquisitionShrinksPlan(t *testing.T) {
 	e, h, _, _ := setup(fixedStrategy{})
 	h.heldOverride = func(n int) int { return 1 } // environment yields just 1
-	var results []Result
-	fw := New(e, fixedStrategy{grow: 8}, h, func() int { return 2 }, func(r Result) { results = append(results, r) })
+	fr := &fakeFrontend{size: 2}
+	fw := New(e, fixedStrategy{grow: 8}, h, fr)
 	fw.Notify(Event{Kind: GrowRequest, Amount: 4})
 	e.Run()
 	if len(h.actions) != 2 || h.actions[1].Op != OpRecruit || h.actions[1].N != 1 {
 		t.Fatalf("actions = %v", h.actions)
 	}
-	if len(results) != 1 || results[0].Accepted != 1 {
-		t.Fatalf("results = %v", results)
+	if len(fr.results) != 1 || fr.results[0].Accepted != 1 {
+		t.Fatalf("results = %v", fr.results)
 	}
 }
 
 func TestZeroAcquisitionAbortsPlan(t *testing.T) {
 	e, h, _, _ := setup(fixedStrategy{})
 	h.heldOverride = func(n int) int { return 0 }
-	var results []Result
-	fw := New(e, fixedStrategy{grow: 8}, h, func() int { return 2 }, func(r Result) { results = append(results, r) })
+	fr := &fakeFrontend{size: 2}
+	fw := New(e, fixedStrategy{grow: 8}, h, fr)
 	fw.Notify(Event{Kind: GrowRequest, Amount: 4})
 	e.Run()
 	if len(h.actions) != 1 {
 		t.Fatalf("actions = %v (recruit should not run)", h.actions)
 	}
-	if len(results) != 1 || results[0].Accepted != 0 {
-		t.Fatalf("results = %v", results)
+	if len(fr.results) != 1 || fr.results[0].Accepted != 0 {
+		t.Fatalf("results = %v", fr.results)
 	}
 	if fw.Busy() {
 		t.Fatal("framework stuck busy")
@@ -177,7 +186,7 @@ func TestNilComponentPanics(t *testing.T) {
 			t.Error("nil component did not panic")
 		}
 	}()
-	New(e, nil, nil, nil, nil)
+	New(e, nil, nil, nil)
 }
 
 func TestStringers(t *testing.T) {

@@ -10,13 +10,10 @@ import (
 	"fmt"
 
 	"repro/internal/cluster"
-	"repro/internal/core"
 	"repro/internal/gram"
-	"repro/internal/koala"
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/parallel"
-	"repro/internal/runner"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
@@ -153,100 +150,16 @@ type Result struct {
 	Pooled []metrics.JobRecord
 }
 
-// RunOnce executes one seeded run.
+// RunOnce executes one seeded run. It is Prepare followed by a single
+// Prepared.RunOnce — the batched path through Prepared is the same code,
+// so both modes produce byte-identical results for the same config and
+// seed.
 func RunOnce(cfg Config, seed uint64) (*RunResult, error) {
-	cfg = cfg.withDefaults()
-
-	pol, ok := core.PolicyByName(cfg.Policy)
-	if !ok {
-		return nil, fmt.Errorf("experiment: unknown policy %q", cfg.Policy)
-	}
-	apr, ok := core.ApproachByName(cfg.Approach)
-	if !ok {
-		return nil, fmt.Errorf("experiment: unknown approach %q", cfg.Approach)
-	}
-	place, err := koala.PolicyByName(cfg.Placement)
+	p, err := Prepare(cfg)
 	if err != nil {
 		return nil, err
 	}
-
-	spec := cfg.Workload
-	spec.Seed = seed
-	wl, err := workload.Generate(spec)
-	if err != nil {
-		return nil, err
-	}
-
-	gramCfg := gram.DefaultConfig()
-	if cfg.GramOverride != nil {
-		gramCfg = *cfg.GramOverride
-	}
-	sys := core.NewSystem(core.SystemConfig{
-		Grid: cfg.Grid(),
-		Gram: gramCfg,
-		Scheduler: koala.Config{
-			Policy:        place,
-			PollInterval:  cfg.PollInterval,
-			MRunnerConfig: runner.DefaultMRunnerConfig(),
-		},
-		Manager: core.ManagerConfig{
-			Policy:        pol,
-			Approach:      apr,
-			GrowthReserve: cfg.GrowthReserve,
-			Stats:         cfg.SimStats,
-		},
-		DisableManager: cfg.DisableMalleability,
-	})
-	if cfg.SimStats != nil {
-		// Guarded here, not in SetStats: boxing a nil *SimStats in the
-		// interface would defeat the engine's nil check.
-		sys.Engine.SetStats(cfg.SimStats)
-	}
-	col := metrics.NewCollector(sys.Engine, sys.Scheduler, sys.Grid, cfg.SamplePeriod)
-
-	if cfg.Background != nil {
-		bgSpec := *cfg.Background
-		bgSpec.Seed = seed ^ 0xbadc0ffee
-		bg, err := workload.StartBackground(sys.Engine, sys.Grid, bgSpec)
-		if err != nil {
-			return nil, err
-		}
-		// Local users stop arriving a little after the measured workload's
-		// submission window so runs can drain (running sessions still
-		// terminate normally).
-		span := float64(cfg.Workload.Jobs) * cfg.Workload.InterArrival
-		sys.Engine.At(span+2000, bg.Stop)
-	}
-
-	sub := workload.Submit(sys.Engine, wl, func(js koala.JobSpec) error {
-		_, err := sys.Scheduler.Submit(js)
-		return err
-	})
-
-	if err := sys.RunUntilDone(cfg.Horizon); err != nil {
-		return nil, fmt.Errorf("experiment %s (seed %d): %w", cfg.Name, seed, err)
-	}
-	col.Stop()
-	if len(sub.Errs()) > 0 {
-		return nil, fmt.Errorf("experiment %s: %d submission errors, first: %v", cfg.Name, len(sub.Errs()), sub.Errs()[0])
-	}
-
-	res := &RunResult{
-		Seed:        seed,
-		Records:     col.Records(),
-		Rejected:    len(col.Rejected()),
-		Utilization: col.Utilization(),
-		Makespan:    lastEnd(col.Records()),
-	}
-	if sys.Manager != nil {
-		res.GrowOps = sys.Manager.GrowOps().Series()
-		res.ShrinkOps = sys.Manager.ShrinkOps().Series()
-		res.TotalOps = sys.Manager.GrowOps().Total() + sys.Manager.ShrinkOps().Total()
-	} else {
-		res.GrowOps = stats.NewTimeSeries()
-		res.ShrinkOps = stats.NewTimeSeries()
-	}
-	return res, nil
+	return p.RunOnce(seed)
 }
 
 func lastEnd(recs []metrics.JobRecord) float64 {
@@ -268,12 +181,17 @@ func Run(cfg Config) (*Result, error) {
 }
 
 // RunContext is Run with cancellation: a canceled ctx (or the first failing
-// run) stops the pool from dispatching further runs.
+// run) stops the pool from dispatching further runs. The point's setup is
+// prepared once (Prepare) and shared read-only by every replication.
 func RunContext(ctx context.Context, cfg Config) (*Result, error) {
-	cfg = cfg.withDefaults()
+	p, err := Prepare(cfg)
+	if err != nil {
+		return nil, err
+	}
+	cfg = p.Config()
 	runs := make([]*RunResult, cfg.Runs)
-	err := parallel.ForEach(ctx, cfg.Runs, cfg.Parallelism, func(_ context.Context, i int) error {
-		r, err := RunOnce(cfg, cfg.Seed+uint64(i))
+	err = parallel.ForEach(ctx, cfg.Runs, cfg.Parallelism, func(_ context.Context, i int) error {
+		r, err := p.RunOnce(cfg.Seed + uint64(i))
 		if err != nil {
 			return err
 		}

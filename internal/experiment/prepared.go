@@ -1,0 +1,171 @@
+package experiment
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/gram"
+	"repro/internal/koala"
+	"repro/internal/metrics"
+	"repro/internal/runner"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Prepared is the share-once half of an experiment point: every piece of
+// RunOnce's setup that does not depend on the replication seed — resolved
+// policy/approach/placement lookups, the GRAM latency model, the prepared
+// workload spec (rendered IDs, resolved profiles) and the shared site
+// index table. One Prepared is built per sweep point and reused read-only
+// by all of its replications; per-replication state (engine, grid, sites,
+// scheduler, RNG streams) is still built fresh per seed, so results are
+// byte-identical to the single-shot RunOnce path — which is in fact the
+// same code: RunOnce is Prepare followed by one Prepared.RunOnce.
+//
+// A Prepared is immutable after Prepare returns and safe for concurrent
+// use by parallel replication workers.
+type Prepared struct {
+	cfg Config
+
+	pol     core.Policy
+	apr     core.Approach
+	place   koala.PlacementPolicy
+	gramCfg gram.Config
+	wl      *workload.PreparedSpec
+	idx     *koala.SharedIndex
+
+	// span is the measured workload's submission window, used to schedule
+	// the background-load stop.
+	span float64
+}
+
+// Prepare validates cfg, applies defaults and precomputes the
+// seed-independent setup. The returned Prepared serves any number of
+// replications via Prepared.RunOnce.
+func Prepare(cfg Config) (*Prepared, error) {
+	cfg = cfg.withDefaults()
+
+	pol, ok := core.PolicyByName(cfg.Policy)
+	if !ok {
+		return nil, fmt.Errorf("experiment: unknown policy %q", cfg.Policy)
+	}
+	apr, ok := core.ApproachByName(cfg.Approach)
+	if !ok {
+		return nil, fmt.Errorf("experiment: unknown approach %q", cfg.Approach)
+	}
+	place, err := koala.PolicyByName(cfg.Placement)
+	if err != nil {
+		return nil, err
+	}
+	wl, err := workload.PrepareSpec(cfg.Workload)
+	if err != nil {
+		return nil, err
+	}
+	gramCfg := gram.DefaultConfig()
+	if cfg.GramOverride != nil {
+		gramCfg = *cfg.GramOverride
+	}
+
+	// The site index depends only on the grid topology (cluster names, in
+	// order), which every cfg.Grid() call reproduces; one probe build here
+	// funds the shared name↔index table for all replications.
+	probe := cfg.Grid()
+	names := make([]string, 0, len(probe.Clusters()))
+	for _, c := range probe.Clusters() {
+		names = append(names, c.Name())
+	}
+
+	return &Prepared{
+		cfg:     cfg,
+		pol:     pol,
+		apr:     apr,
+		place:   place,
+		gramCfg: gramCfg,
+		wl:      wl,
+		idx:     koala.PrepareIndex(names),
+		span:    float64(cfg.Workload.Jobs) * cfg.Workload.InterArrival,
+	}, nil
+}
+
+// Config returns the point's config with defaults applied.
+func (p *Prepared) Config() Config { return p.cfg }
+
+// RunOnce executes one seeded replication against the prepared setup.
+// Everything stateful — engine, grid, sites, scheduler, collector — is
+// built fresh for this seed; only the immutable prepared parts are shared.
+func (p *Prepared) RunOnce(seed uint64) (*RunResult, error) {
+	cfg := p.cfg
+	wl := p.wl.Generate(seed)
+
+	sys := core.NewSystem(core.SystemConfig{
+		Grid: cfg.Grid(),
+		Gram: p.gramCfg,
+		Scheduler: koala.Config{
+			Policy:        p.place,
+			PollInterval:  cfg.PollInterval,
+			MRunnerConfig: runner.DefaultMRunnerConfig(),
+			Index:         p.idx,
+		},
+		Manager: core.ManagerConfig{
+			Policy:        p.pol,
+			Approach:      p.apr,
+			GrowthReserve: cfg.GrowthReserve,
+			Stats:         cfg.SimStats,
+		},
+		DisableManager: cfg.DisableMalleability,
+	})
+	if cfg.SimStats != nil {
+		// Guarded here, not in SetStats: boxing a nil *SimStats in the
+		// interface would defeat the engine's nil check.
+		sys.Engine.SetStats(cfg.SimStats)
+	}
+	col := metrics.NewCollector(sys.Engine, sys.Scheduler, sys.Grid, cfg.SamplePeriod)
+	sample := cfg.SamplePeriod
+	if sample <= 0 {
+		sample = 10
+	}
+	col.Reserve(cfg.Workload.Jobs, int((p.span+2000)/sample)+2)
+
+	if cfg.Background != nil {
+		bgSpec := *cfg.Background
+		bgSpec.Seed = seed ^ 0xbadc0ffee
+		bg, err := workload.StartBackground(sys.Engine, sys.Grid, bgSpec)
+		if err != nil {
+			return nil, err
+		}
+		// Local users stop arriving a little after the measured workload's
+		// submission window so runs can drain (running sessions still
+		// terminate normally).
+		sys.Engine.At(p.span+2000, bg.Stop)
+	}
+
+	sub := workload.Submit(sys.Engine, wl, func(js koala.JobSpec) error {
+		_, err := sys.Scheduler.Submit(js)
+		return err
+	})
+
+	if err := sys.RunUntilDone(cfg.Horizon); err != nil {
+		return nil, fmt.Errorf("experiment %s (seed %d): %w", cfg.Name, seed, err)
+	}
+	col.Stop()
+	if len(sub.Errs()) > 0 {
+		return nil, fmt.Errorf("experiment %s: %d submission errors, first: %v", cfg.Name, len(sub.Errs()), sub.Errs()[0])
+	}
+
+	res := &RunResult{
+		Seed:        seed,
+		Records:     col.Records(),
+		Rejected:    len(col.Rejected()),
+		Utilization: col.Utilization(),
+		Makespan:    lastEnd(col.Records()),
+	}
+	if sys.Manager != nil {
+		res.GrowOps = sys.Manager.GrowOps().Series()
+		res.ShrinkOps = sys.Manager.ShrinkOps().Series()
+		res.TotalOps = sys.Manager.GrowOps().Total() + sys.Manager.ShrinkOps().Total()
+	} else {
+		res.GrowOps = stats.NewTimeSeries()
+		res.ShrinkOps = stats.NewTimeSeries()
+	}
+	return res, nil
+}

@@ -135,18 +135,24 @@ type localPoint struct {
 }
 
 func (p localPoint) RunPoint(ctx context.Context, cfg Config, hooks StreamHooks) (*StreamResult, error) {
-	cfg = cfg.withDefaults()
+	// One Prepare per point: the replications share the immutable setup
+	// (resolved lookups, prepared workload spec, site index) and differ
+	// only in their seeds.
+	prep, err := Prepare(cfg)
+	if err != nil {
+		return nil, err
+	}
+	cfg = prep.Config()
 	reps := make([]Replication, cfg.Runs)
 	aggs := make([]*metrics.Aggregate, cfg.Runs)
 	body := func(_ context.Context, i int) error {
-		rep, agg, err := streamOne(cfg, i, hooks)
+		rep, agg, err := streamOne(prep, i, hooks)
 		if err != nil {
 			return err
 		}
 		reps[i], aggs[i] = rep, agg
 		return nil
 	}
-	var err error
 	if p.lim != nil {
 		err = parallel.ForEachShared(ctx, cfg.Runs, p.lim, body)
 	} else {
@@ -158,11 +164,13 @@ func (p localPoint) RunPoint(ctx context.Context, cfg Config, hooks StreamHooks)
 	return newStreamResult(cfg, reps, aggs), nil
 }
 
-// streamOne executes replication i of cfg and reduces it to its
-// compact form. A panicking replication must not unwind the worker
-// goroutine: the streaming path serves long-running daemons (koalad),
-// where one bad run may fail but never take the process down.
-func streamOne(cfg Config, i int, hooks StreamHooks) (rep Replication, agg *metrics.Aggregate, err error) {
+// streamOne executes replication i against the point's prepared setup
+// and reduces it to its compact form. A panicking replication must not
+// unwind the worker goroutine: the streaming path serves long-running
+// daemons (koalad), where one bad run may fail but never take the
+// process down.
+func streamOne(prep *Prepared, i int, hooks StreamHooks) (rep Replication, agg *metrics.Aggregate, err error) {
+	cfg := prep.Config()
 	defer func() {
 		if p := recover(); p != nil {
 			err = fmt.Errorf("experiment %s: replication %d panicked: %v\n%s", cfg.Name, i, p, debug.Stack())
@@ -172,7 +180,7 @@ func streamOne(cfg Config, i int, hooks StreamHooks) (rep Replication, agg *metr
 	if hooks.OnStart != nil {
 		hooks.OnStart(i, seed)
 	}
-	r, err := RunOnce(cfg, seed)
+	r, err := prep.RunOnce(seed)
 	if err != nil {
 		return Replication{}, nil, err
 	}

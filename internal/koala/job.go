@@ -116,6 +116,9 @@ type Job struct {
 	// seq is the submission sequence number (position in Scheduler.Jobs());
 	// it breaks start-time ties in the running-malleable-job order.
 	seq int
+	// sched owns the job; runner lifecycle notifications route back
+	// through it (see JobStarted/JobFinished).
+	sched *Scheduler
 
 	submitTime float64
 	placeTime  float64
@@ -128,16 +131,25 @@ type Job struct {
 	rigidRunners []*runner.RigidRunner
 	// coRunner is set for multi-component (co-allocated) jobs.
 	coRunner *runner.CoRunner
-	// sites records where each placed component landed.
-	sites []*Site
+	// sites records where each placed component landed; sitesBuf is its
+	// inline backing for the common one- and two-component cases.
+	sites    []*Site
+	sitesBuf [2]*Site
 	// claims records the processors claimed per site (by the scheduler's
-	// dense site index) while GRAM submissions are in flight; cleared when
-	// the job starts.
+	// dense site index) while GRAM submissions are in flight; returned to
+	// the scheduler's claims pool when the job starts.
 	claims []int
 
 	componentsRunning  int
 	componentsFinished int
 }
+
+// JobStarted implements runner.Lifecycle: every runner of the job reports
+// into the owning scheduler without a per-job closure pair.
+func (j *Job) JobStarted() { j.sched.jobStarted(j) }
+
+// JobFinished implements runner.Lifecycle.
+func (j *Job) JobFinished() { j.sched.jobFinished(j) }
 
 // State returns the job lifecycle state.
 func (j *Job) State() JobState { return j.state }

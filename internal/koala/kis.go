@@ -118,14 +118,56 @@ type KIS struct {
 	last Snapshot
 }
 
+// SharedIndex is an immutable site index table prepared once per sweep
+// point and shared read-only by the KIS of every replication (the grids
+// themselves are rebuilt per replication — only the name↔index mapping,
+// which depends solely on the grid topology, is shared). Build one with
+// PrepareIndex and pass it through Config.Index.
+type SharedIndex struct {
+	idx *siteIndex
+}
+
+// PrepareIndex builds a shared site index for grids whose sites carry the
+// given names, in order. The names are copied; the result is safe for
+// concurrent use.
+func PrepareIndex(names []string) *SharedIndex {
+	return &SharedIndex{idx: newSiteIndex(append([]string(nil), names...))}
+}
+
+// matches reports whether the shared index describes exactly these sites.
+func (si *SharedIndex) matches(sites []*Site) bool {
+	if si == nil || len(si.idx.names) != len(sites) {
+		return false
+	}
+	for i, s := range sites {
+		if si.idx.names[i] != s.Name() {
+			return false
+		}
+	}
+	return true
+}
+
 // NewKIS builds the information service over the given sites. The order of
 // sites defines the grid's stable site index.
 func NewKIS(engine *sim.Engine, sites []*Site) *KIS {
-	names := make([]string, len(sites))
-	for i, s := range sites {
-		names[i] = s.Name()
+	return newKIS(engine, sites, nil)
+}
+
+// newKIS builds the information service, reusing the shared site index
+// when one is provided and matches the sites (otherwise a fresh index is
+// built, so a stale or mismatched table can never corrupt lookups).
+func newKIS(engine *sim.Engine, sites []*Site, shared *SharedIndex) *KIS {
+	var idx *siteIndex
+	if shared.matches(sites) {
+		idx = shared.idx
+	} else {
+		names := make([]string, len(sites))
+		for i, s := range sites {
+			names[i] = s.Name()
+		}
+		idx = newSiteIndex(names)
 	}
-	k := &KIS{engine: engine, sites: sites, idx: newSiteIndex(names), latency: make(map[[2]string]NetworkInfo)}
+	k := &KIS{engine: engine, sites: sites, idx: idx, latency: make(map[[2]string]NetworkInfo)}
 	k.bufs[0] = make([]ProcessorInfo, len(sites))
 	k.bufs[1] = make([]ProcessorInfo, len(sites))
 	k.Refresh()

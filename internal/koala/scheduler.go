@@ -48,6 +48,12 @@ type Config struct {
 	// the profile bounds and the idle processors of the chosen site; nil
 	// uses the requested size.
 	MoldableSizing func(min, max, idle int) int
+	// Index, when non-nil, is a shared immutable site index table built
+	// once per sweep point (PrepareIndex) and reused read-only by every
+	// replication's KIS, instead of each KIS rebuilding the name↔index
+	// map from scratch. It must match the sites handed to NewScheduler;
+	// a mismatch falls back to a freshly built index.
+	Index *SharedIndex
 }
 
 // DefaultConfig mirrors the experimental setup: Worst-Fit placement and a
@@ -95,6 +101,14 @@ type Scheduler struct {
 	// snapshot; it is valid only for the duration of one placement attempt.
 	viewBuf []ProcessorInfo
 
+	// claimsPool recycles per-job claim vectors: claims live only from
+	// Placing to Running, so a small free list serves the whole run.
+	claimsPool [][]int
+
+	// jobArena batch-allocates Job structs (handles stay valid for the
+	// scheduler's lifetime; see gram.Service.arena for the pattern).
+	jobArena []Job
+
 	hooks  Hooks
 	ticker *sim.Ticker
 
@@ -117,7 +131,7 @@ func NewScheduler(engine *sim.Engine, sites []*Site, cfg Config) *Scheduler {
 	s := &Scheduler{
 		engine:  engine,
 		sites:   sites,
-		kis:     NewKIS(engine, sites),
+		kis:     newKIS(engine, sites, cfg.Index),
 		cfg:     cfg,
 		siteOf:  make(map[*Site]int, len(sites)),
 		pending: make([]int, len(sites)),
@@ -228,7 +242,12 @@ func (s *Scheduler) Submit(spec JobSpec) (*Job, error) {
 	if spec.ID == "" {
 		spec.ID = fmt.Sprintf("job-%d", len(s.jobs))
 	}
-	j := &Job{Spec: spec, state: Waiting, submitTime: s.engine.Now(), seq: len(s.jobs)}
+	if len(s.jobArena) == 0 {
+		s.jobArena = make([]Job, 64)
+	}
+	j := &s.jobArena[0]
+	s.jobArena = s.jobArena[1:]
+	j.Spec, j.state, j.submitTime, j.seq, j.sched = spec, Waiting, s.engine.Now(), len(s.jobs), s
 	s.jobs = append(s.jobs, j)
 	if !s.tryPlace(j) {
 		s.queue = append(s.queue, j)
@@ -338,6 +357,23 @@ func (s *Scheduler) tryPlace(j *Job) bool {
 	return true
 }
 
+// getClaims hands out a zeroed per-site claim vector from the pool.
+func (s *Scheduler) getClaims() []int {
+	if n := len(s.claimsPool); n > 0 {
+		c := s.claimsPool[n-1]
+		s.claimsPool = s.claimsPool[:n-1]
+		for i := range c {
+			c[i] = 0
+		}
+		return c
+	}
+	return make([]int, len(s.sites))
+}
+
+func (s *Scheduler) putClaims(c []int) {
+	s.claimsPool = append(s.claimsPool, c)
+}
+
 // claim is the processor claimer (PC): it turns placements into runners.
 // Local resource managers on DAS-3 do not support reservations, so claiming
 // is immediate GRAM submission; the postponed-claiming policy of [20], [21]
@@ -345,17 +381,15 @@ func (s *Scheduler) tryPlace(j *Job) bool {
 func (s *Scheduler) claim(j *Job, placements []ComponentPlacement) {
 	j.state = Placing
 	j.placeTime = s.engine.Now()
-	j.claims = make([]int, len(s.sites))
+	j.claims = s.getClaims()
+	j.sites = j.sitesBuf[:0]
 	for _, p := range placements {
 		j.sites = append(j.sites, p.Site)
 		si := s.siteOf[p.Site]
 		j.claims[si] += p.Size
 		s.pending[si] += p.Size
 	}
-	cb := runner.Callbacks{
-		OnStarted:  func() { s.jobStarted(j) },
-		OnFinished: func() { s.jobFinished(j) },
-	}
+	cb := runner.Callbacks{Lifecycle: j}
 	if j.Malleable() {
 		comp := j.Spec.Components[0]
 		mr, err := runner.NewMRunner(s.engine, placements[0].Site.Gram(), comp.Profile, placements[0].Size, s.cfg.MRunnerConfig, cb)
@@ -430,6 +464,7 @@ func (s *Scheduler) jobStarted(j *Job) {
 			s.pending[si] -= n
 		}
 	}
+	s.putClaims(j.claims)
 	j.claims = nil
 	if j.Malleable() {
 		if site := j.Site(); site != nil {

@@ -91,6 +91,18 @@ func NewCollector(engine *sim.Engine, sched *koala.Scheduler, grid *cluster.Mult
 // Stop halts utilisation sampling (end of experiment).
 func (c *Collector) Stop() { c.sampler.Stop() }
 
+// Reserve sizes the collector's buffers for an expected number of finished
+// jobs and utilisation samples, so steady-state collection appends without
+// regrowing.
+func (c *Collector) Reserve(jobs, samples int) {
+	if jobs > cap(c.records) {
+		recs := make([]JobRecord, len(c.records), jobs)
+		copy(recs, c.records)
+		c.records = recs
+	}
+	c.utilization.Reserve(samples)
+}
+
 // observe turns a finished job into a record.
 func (c *Collector) observe(j *koala.Job) {
 	rec := JobRecord{

@@ -116,9 +116,7 @@ func (r *CoRunner) beginExecution() {
 		Min:   size,
 		Max:   size,
 	}, size, r.onAppFinished)
-	if r.cb.OnStarted != nil {
-		r.cb.OnStarted()
-	}
+	r.cb.notifyStarted()
 }
 
 func (r *CoRunner) onAppFinished() {
@@ -134,7 +132,5 @@ func (r *CoRunner) onAppFinished() {
 			}
 		}
 	}
-	if r.cb.OnFinished != nil {
-		r.cb.OnFinished()
-	}
+	r.cb.notifyFinished()
 }

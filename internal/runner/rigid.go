@@ -81,9 +81,7 @@ func (r *RigidRunner) Start() error {
 			Max:   r.size,
 		}, r.size, r.onAppFinished)
 		r.exec = exec
-		if r.cb.OnStarted != nil {
-			r.cb.OnStarted()
-		}
+		r.cb.notifyStarted()
 	})
 	if err != nil {
 		return err
@@ -96,7 +94,5 @@ func (r *RigidRunner) onAppFinished() {
 	r.running = false
 	r.finished = true
 	r.svc.Release(r.job)
-	if r.cb.OnFinished != nil {
-		r.cb.OnFinished()
-	}
+	r.cb.notifyFinished()
 }

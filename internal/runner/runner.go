@@ -15,9 +15,21 @@ import (
 	"repro/internal/sim"
 )
 
+// Lifecycle receives start/finish notifications as an interface — the
+// closure-free form of Callbacks.OnStarted/OnFinished. The scheduler's
+// *Job implements it, so claiming a placement allocates no per-job
+// callback closures.
+type Lifecycle interface {
+	JobStarted()
+	JobFinished()
+}
+
 // Callbacks connect a runner to the scheduler frontend. All callbacks are
 // optional.
 type Callbacks struct {
+	// Lifecycle, when non-nil, receives the started/finished notifications
+	// (in addition to OnStarted/OnFinished when those are also set).
+	Lifecycle Lifecycle
 	// OnStarted fires when the application begins executing.
 	OnStarted func()
 	// OnFinished fires when the application completed and all of its
@@ -36,6 +48,27 @@ type Callbacks struct {
 	// voluntarily gave back processors beyond what was requested (§V-A),
 	// e.g. stubs abandoned after an acquisition timeout.
 	OnVoluntaryShrink func(released int)
+}
+
+// notifyStarted fires the started notifications (func first, then the
+// interface form).
+func (cb *Callbacks) notifyStarted() {
+	if cb.OnStarted != nil {
+		cb.OnStarted()
+	}
+	if cb.Lifecycle != nil {
+		cb.Lifecycle.JobStarted()
+	}
+}
+
+// notifyFinished fires the finished notifications.
+func (cb *Callbacks) notifyFinished() {
+	if cb.OnFinished != nil {
+		cb.OnFinished()
+	}
+	if cb.Lifecycle != nil {
+		cb.Lifecycle.JobFinished()
+	}
 }
 
 // Runner is the common behaviour of all runner kinds.
@@ -87,7 +120,10 @@ type MRunner struct {
 	initial int
 	stubs   []*gram.Job
 	exec    *app.Execution
-	fw      *dynaco.Framework
+	// fw points at fwVal: the per-job DYNACO instance is embedded by value
+	// so claiming a malleable job heap-allocates one object fewer.
+	fw    *dynaco.Framework
+	fwVal dynaco.Framework
 
 	// planned is the processor count after all queued adaptations complete;
 	// the decide step of the protocol (§V-C: "get accepted number of
@@ -102,8 +138,13 @@ type MRunner struct {
 	// One in-flight release staged by mrunnerHandler.Release while its
 	// safe-point delay elapses (DYNACO serializes adaptation actions, so
 	// one slot is enough).
-	relN    int
-	relDone func()
+	relN int
+
+	// acq is the single reusable acquisition slot: DYNACO executes one
+	// adaptation at a time and no grow can start before the initial batch
+	// completes, so at most one acquisition is ever in flight — growing
+	// allocates no per-acquisition state.
+	acq acquisition
 
 	appGrow AppGrowHandler
 
@@ -132,21 +173,15 @@ func NewMRunner(engine *sim.Engine, svc *gram.Service, profile *app.Profile, ini
 		initial: initial,
 		planned: initial,
 	}
+	r.acq.r = r
 	// The complete DYNACO instance embedded in the MRunner (§V-A). The
 	// decide step runs synchronously in RequestGrow/RequestShrink (it is
 	// the protocol reply to the scheduler), so the framework executes
-	// pre-decided events.
-	r.fw = dynaco.New(engine,
-		dynaco.PreDecided{},
-		(*mrunnerHandler)(r),
-		func() int {
-			if r.exec == nil {
-				return initial
-			}
-			return r.exec.Procs()
-		},
-		r.onAdaptation,
-	)
+	// pre-decided events. The handler doubles as the framework's frontend
+	// (Size/AdaptationDone), so assembling the instance allocates no
+	// closures.
+	r.fw = &r.fwVal
+	r.fw.Init(engine, dynaco.PreDecided{}, (*mrunnerHandler)(r), (*mrunnerHandler)(r))
 	return r, nil
 }
 
@@ -172,26 +207,27 @@ func (r *MRunner) Execution() *app.Execution { return r.exec }
 func (r *MRunner) Stats() (growMsgs, shrinkMsgs uint64) { return r.growMsgs, r.shrinkMsgs }
 
 // Start implements Runner: it submits the initial collection of size-1 GRAM
-// stub jobs; execution begins when all are active.
+// stub jobs; execution begins when all are active. The batch runs through
+// the shared acquisition slot (without a timeout: the initial submission
+// claims processors the scheduler already granted).
 func (r *MRunner) Start() error {
 	if r.started {
 		return fmt.Errorf("runner: %s started twice", r.profile.Name)
 	}
 	r.started = true
-	r.stubs = make([]*gram.Job, 0, r.initial)
-	remaining := r.initial
-	// One shared callback for the whole batch, not one closure per stub.
-	onActive := func(j *gram.Job) {
-		r.stubs = append(r.stubs, j)
-		remaining--
-		if remaining == 0 {
-			r.beginExecution()
-		}
+	// Sized for the profile's maximum so that grow recruitment appends
+	// never reallocate.
+	cap := r.profile.Max
+	if cap < r.initial {
+		cap = r.initial
 	}
-	for i := 0; i < r.initial; i++ {
-		if _, err := r.svc.Submit(1, onActive); err != nil {
-			return fmt.Errorf("runner: initial submission failed: %w", err)
-		}
+	// One backing array serves both stub lists: held stubs in the front
+	// half, the in-flight batch in the back half.
+	buf := make([]*gram.Job, 2*cap)
+	r.stubs = buf[:0:cap]
+	r.acq.newStubs = buf[cap:cap]
+	if err := r.acquire(r.initial, nil, true, 0); err != nil {
+		return fmt.Errorf("runner: initial submission failed: %w", err)
 	}
 	return nil
 }
@@ -199,9 +235,7 @@ func (r *MRunner) Start() error {
 func (r *MRunner) beginExecution() {
 	r.running = true
 	r.exec = app.NewExecution(r.engine, r.profile, r.initial, r.onAppFinished)
-	if r.cb.OnStarted != nil {
-		r.cb.OnStarted()
-	}
+	r.cb.notifyStarted()
 }
 
 func (r *MRunner) onAppFinished() {
@@ -213,9 +247,7 @@ func (r *MRunner) onAppFinished() {
 		}
 	}
 	r.stubs = nil
-	if r.cb.OnFinished != nil {
-		r.cb.OnFinished()
-	}
+	r.cb.notifyFinished()
 }
 
 // PlannedProcs returns the processor count the application will have once
@@ -271,7 +303,23 @@ func (r *MRunner) RequestShrink(request int) int {
 	return released
 }
 
-func (r *MRunner) onAdaptation(res dynaco.Result) {
+// mrunnerHandler implements dynaco.Handler and dynaco.Frontend on the
+// MRunner. It is a separate named type so these methods do not pollute
+// MRunner's public API.
+type mrunnerHandler MRunner
+
+// Size implements dynaco.Frontend.
+func (h *mrunnerHandler) Size() int {
+	r := (*MRunner)(h)
+	if r.exec == nil {
+		return r.initial
+	}
+	return r.exec.Procs()
+}
+
+// AdaptationDone implements dynaco.Frontend.
+func (h *mrunnerHandler) AdaptationDone(res dynaco.Result) {
+	r := (*MRunner)(h)
 	switch res.Event.Kind {
 	case dynaco.GrowRequest:
 		// The environment may have delivered fewer processors than the
@@ -289,22 +337,57 @@ func (r *MRunner) onAdaptation(res dynaco.Result) {
 	}
 }
 
-// mrunnerHandler implements dynaco.Handler on the MRunner. It is a separate
-// named type so the Handler methods do not pollute MRunner's public API.
-type mrunnerHandler MRunner
-
-// acquisition tracks one in-flight grow: the stubs submitted, how many are
-// already active, and the timeout that abandons the rest. It is a single
-// object with one shared stub callback, replacing the per-stub closure web
-// the hot path used to allocate.
+// acquisition tracks one in-flight stub batch: how many are already
+// active, and the timeout that abandons the rest. It is the MRunner's
+// single reusable slot (at most one batch is ever in flight: DYNACO
+// serializes adaptations, and no grow arrives before the initial batch
+// completes), so acquiring allocates neither per-grow state nor per-stub
+// closures — it implements gram.Activator directly.
 type acquisition struct {
 	r        *MRunner
 	n        int
 	held     int
 	finished bool
+	// initial marks Start's batch: its completion begins execution
+	// instead of resuming the DYNACO plan.
+	initial  bool
 	newStubs []*gram.Job
 	timeout  *sim.Event
-	done     func(held int)
+	fw       *dynaco.Framework
+}
+
+// acquire submits n size-1 stubs through the reusable acquisition slot.
+// For grow batches (initial false) the plan resumes via fw once all stubs
+// are active or the timeout expires; Start's initial batch (initial true,
+// no timeout) begins execution instead.
+func (r *MRunner) acquire(n int, fw *dynaco.Framework, initial bool, timeout float64) error {
+	a := &r.acq
+	a.n, a.held, a.finished, a.initial, a.fw = n, 0, false, initial, fw
+	a.newStubs = a.newStubs[:0]
+	a.timeout = nil
+	if timeout > 0 {
+		a.timeout = r.engine.AfterOp(timeout, a, 0)
+	}
+	for i := 0; i < n; i++ {
+		j, err := r.svc.SubmitTo(1, a)
+		if err != nil {
+			if initial {
+				return err
+			}
+			// Site refuses (should not happen for size-1 jobs): account the
+			// stub as never held.
+			a.n--
+			if a.held == a.n && a.n > 0 {
+				a.complete()
+			}
+			continue
+		}
+		a.newStubs = append(a.newStubs, j)
+	}
+	if a.n == 0 {
+		a.complete()
+	}
+	return nil
 }
 
 // OnEvent implements sim.Handler: the acquisition timeout expired — abandon
@@ -338,11 +421,16 @@ func (a *acquisition) complete() {
 		a.timeout.Cancel()
 		a.timeout = nil
 	}
-	a.done(a.held)
+	if a.initial {
+		a.r.beginExecution()
+		return
+	}
+	a.fw.AcquireDone(a.held)
 }
 
-// stubActive is the shared onActive callback of every stub of the batch.
-func (a *acquisition) stubActive(j *gram.Job) {
+// JobActive implements gram.Activator: one stub of the batch holds its
+// node.
+func (a *acquisition) JobActive(j *gram.Job) {
 	r := a.r
 	if a.finished || r.finished {
 		// Too late — the acquisition timed out, or the application itself
@@ -360,40 +448,27 @@ func (a *acquisition) stubActive(j *gram.Job) {
 	}
 }
 
-// Acquire submits n size-1 stubs and reports once all are active (or the
-// acquisition timeout expires, in which case pending stubs are abandoned).
-func (h *mrunnerHandler) Acquire(n int, done func(held int)) {
+// Acquire implements dynaco.Handler: submit n size-1 stubs and resume the
+// plan once all are active (or the acquisition timeout expires, in which
+// case pending stubs are abandoned).
+func (h *mrunnerHandler) Acquire(n int, fw *dynaco.Framework) {
 	r := (*MRunner)(h)
-	a := &acquisition{r: r, n: n, done: done}
-	if r.cfg.AcquireTimeout > 0 {
-		a.timeout = r.engine.AfterOp(r.cfg.AcquireTimeout, a, 0)
-	}
-	onActive := a.stubActive
-	for i := 0; i < n; i++ {
-		j, err := r.svc.Submit(1, onActive)
-		if err != nil {
-			// Site refuses (should not happen for size-1 jobs): account the
-			// stub as never held.
-			a.n--
-			if a.held == a.n && a.n > 0 {
-				a.complete()
-			}
-			continue
-		}
-		a.newStubs = append(a.newStubs, j)
-	}
-	if a.n == 0 {
-		a.complete()
-	}
+	r.acquire(n, fw, false, r.cfg.AcquireTimeout)
 }
 
-// Recruit turns held stubs into application processes: a short suspension
-// while processes are spawned and data is redistributed, then the
-// application computes at its new size.
-func (h *mrunnerHandler) Recruit(n int, done func()) {
+// Event op codes for the mrunnerHandler's sim.Handler implementation.
+const (
+	opSafePoint = iota
+	opRecruitDone
+)
+
+// Recruit implements dynaco.Handler: turn held stubs into application
+// processes — a short suspension while processes are spawned and data is
+// redistributed, then the application computes at its new size.
+func (h *mrunnerHandler) Recruit(n int, fw *dynaco.Framework) {
 	r := (*MRunner)(h)
 	if !r.running || r.exec == nil || r.exec.Done() {
-		done()
+		fw.StepDone()
 		return
 	}
 	target := r.exec.Procs() + n
@@ -402,34 +477,38 @@ func (h *mrunnerHandler) Recruit(n int, done func()) {
 	}
 	r.exec.PauseFor(r.cfg.Costs.RecruitPause)
 	r.exec.SetProcs(target)
-	r.engine.After(r.cfg.Costs.RecruitPause, done)
+	r.engine.AfterOp(r.cfg.Costs.RecruitPause, h, opRecruitDone)
 }
 
-// Release waits for the application to reach a safe point, removes the
-// processes, pauses briefly for data redistribution, and releases the
-// corresponding GRAM jobs.
+// Release implements dynaco.Handler: wait for the application to reach a
+// safe point, remove the processes, pause briefly for data redistribution,
+// and release the corresponding GRAM jobs.
 //
 // The safe-point wait is scheduled as a handler op on the MRunner rather
 // than a closure; DYNACO executes one adaptation action at a time
 // (Framework.Busy), so a single pending-release slot suffices.
-func (h *mrunnerHandler) Release(n int, done func()) {
+func (h *mrunnerHandler) Release(n int, fw *dynaco.Framework) {
 	r := (*MRunner)(h)
 	if !r.running || r.exec == nil || r.exec.Done() {
-		done()
+		fw.StepDone()
 		return
 	}
-	r.relN, r.relDone = n, done
-	r.engine.AfterOp(r.cfg.Costs.SafePointDelay, h, 0)
+	r.relN = n
+	r.engine.AfterOp(r.cfg.Costs.SafePointDelay, h, opSafePoint)
 }
 
-// OnEvent implements sim.Handler: the safe point has been reached —
-// complete the release staged by Release.
-func (h *mrunnerHandler) OnEvent(int) {
+// OnEvent implements sim.Handler for the recruit and safe-point delays.
+func (h *mrunnerHandler) OnEvent(op int) {
 	r := (*MRunner)(h)
-	n, done := r.relN, r.relDone
-	r.relN, r.relDone = 0, nil
+	if op == opRecruitDone {
+		r.fw.StepDone()
+		return
+	}
+	// Safe point reached: complete the release staged by Release.
+	n := r.relN
+	r.relN = 0
 	if !r.running || r.exec == nil || r.exec.Done() {
-		done()
+		r.fw.StepDone()
 		return
 	}
 	target := r.exec.Procs() - n
@@ -444,5 +523,5 @@ func (h *mrunnerHandler) OnEvent(int) {
 		r.stubs = r.stubs[:len(r.stubs)-1]
 		r.svc.Release(last)
 	}
-	done()
+	r.fw.StepDone()
 }

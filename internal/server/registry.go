@@ -58,6 +58,10 @@ type Run struct {
 
 	mu     sync.Mutex
 	status Status
+	// events is the run's NDJSON log. Each entry is one complete,
+	// newline-terminated line (framed once, at append time) and is
+	// immutable after publication: followers write the stored bytes
+	// straight to the wire.
 	events []json.RawMessage
 	// changed coalesces subscriber wakeups: nil while nobody waits
 	// (appends then cost no channel churn at all — the common case,
@@ -129,6 +133,11 @@ func (r *Run) endTrace() {
 // optional terminal status is applied under the same lock, so a
 // subscriber can never observe a terminal status with the final event
 // still missing.
+//
+// Events are stored newline-terminated: each entry is a complete NDJSON
+// line, encoded exactly once here, so every follower fans out the same
+// bytes with a single Write and nobody ever appends to a shared backing
+// array after publication.
 func (r *Run) append(v any, terminal Status) {
 	b, err := json.Marshal(v)
 	if err != nil {
@@ -137,6 +146,7 @@ func (r *Run) append(v any, terminal Status) {
 		b = []byte(fmt.Sprintf(`{"type":"error","error":%q}`, err.Error()))
 		terminal = StatusFailed
 	}
+	b = append(b, '\n')
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.events = append(r.events, b)

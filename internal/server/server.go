@@ -732,15 +732,11 @@ func (s *Server) streamRun(w http.ResponseWriter, r *http.Request, run *Run) {
 	for {
 		evs, terminal, changed := run.next(i)
 		for _, ev := range evs {
-			// Write the newline separately: append(ev, '\n') would mutate
-			// the stored event's backing array (json.Marshal leaves spare
-			// capacity), racing concurrent subscribers to the same run.
+			// Events are stored newline-terminated (see Run.append): one
+			// encode at publication, one Write per follower — no per-
+			// follower re-framing, no mutation of shared backing arrays.
 			start := time.Now()
 			if _, err := w.Write(ev); err != nil {
-				disconnected()
-				return
-			}
-			if _, err := w.Write([]byte{'\n'}); err != nil {
 				disconnected()
 				return
 			}

@@ -6,6 +6,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -251,6 +252,67 @@ func TestConcurrentEventSubscribers(t *testing.T) {
 		}
 		if last["type"] != "summary" {
 			t.Fatalf("subscriber %d terminal event = %v", i, last)
+		}
+	}
+}
+
+// TestFollowersReceiveIdenticalBytes pins the encode-once contract of the
+// event log: every event is marshalled and newline-framed exactly once, at
+// append time, and each follower's stream is a single Write per event of
+// those stored bytes. N concurrent followers racing a live run must
+// therefore receive byte-identical NDJSON bodies — any per-follower
+// re-encoding or re-framing (or a writer mutating a shared backing array,
+// which -race would catch) breaks this.
+func TestFollowersReceiveIdenticalBytes(t *testing.T) {
+	s, ts := newTestServer(t, Options{})
+	release := make(chan struct{})
+	s.blockRuns = release
+
+	sr, code := postConfig(t, ts, tinyConfig)
+	if code != http.StatusAccepted {
+		t.Fatalf("POST status = %d", code)
+	}
+	waitStatus(t, s, sr.ID, StatusRunning)
+
+	const followers = 8
+	var wg sync.WaitGroup
+	bodies := make([][]byte, followers)
+	errs := make([]error, followers)
+	for i := range bodies {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Get(ts.URL + "/v1/experiments/" + sr.ID + "/events")
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer resp.Body.Close()
+			bodies[i], errs[i] = io.ReadAll(resp.Body)
+		}(i)
+	}
+	close(release)
+	wg.Wait()
+
+	for i := range bodies {
+		if errs[i] != nil {
+			t.Fatalf("follower %d: %v", i, errs[i])
+		}
+		if !bytes.Equal(bodies[i], bodies[0]) {
+			t.Fatalf("follower %d received different bytes than follower 0:\n%q\nvs\n%q",
+				i, bodies[i], bodies[0])
+		}
+	}
+	body := bodies[0]
+	if len(body) == 0 || body[len(body)-1] != '\n' {
+		t.Fatalf("stream is not newline-terminated: %q", body)
+	}
+	// Every line must be a standalone JSON document — exactly the bytes a
+	// single json.Marshal produced, with no stray framing.
+	for _, line := range bytes.Split(bytes.TrimSuffix(body, []byte{'\n'}), []byte{'\n'}) {
+		var ev map[string]any
+		if err := json.Unmarshal(line, &ev); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", line, err)
 		}
 	}
 }

@@ -1,0 +1,62 @@
+package sim
+
+import "fmt"
+
+var debugCheck = false
+
+// check is an inlinable guard so the disabled checker costs the hot
+// path a single predictable branch.
+//
+//koalalint:hotpath
+func (q *calQueue) check(op string) {
+	if debugCheck {
+		q.checkSlow(op)
+	}
+}
+
+// checkSlow validates every queue invariant: no nil slots or stale
+// back-references in live regions, sorted buckets, the in-year /
+// overflow year partition, and the exact inYear count. The
+// calqueue property tests flip debugCheck on so every operation of a
+// randomized run is validated.
+func (q *calQueue) checkSlow(op string) {
+	n := 0
+	for b, s := range q.buckets {
+		lo := 0
+		if b == q.cur {
+			lo = q.cursor
+		}
+		if b < q.cur && len(s) != 0 {
+			panic(fmt.Sprintf("calqueue %s: passed bucket %d (cur=%d) non-empty len=%d", op, b, q.cur, len(s)))
+		}
+		for i := lo; i < len(s); i++ {
+			if s[i] == nil {
+				panic(fmt.Sprintf("calqueue %s: nil at bucket %d pos %d (cur=%d cursor=%d len=%d)", op, b, i, q.cur, q.cursor, len(s)))
+			}
+			if s[i].bucket != int32(b) || s[i].pos != int32(i) {
+				panic(fmt.Sprintf("calqueue %s: bad backref bucket %d pos %d: ev.bucket=%d ev.pos=%d", op, b, i, s[i].bucket, s[i].pos))
+			}
+			if i > lo && !eventBefore(s[i-1], s[i]) {
+				panic(fmt.Sprintf("calqueue %s: unsorted bucket %d at %d", op, b, i))
+			}
+			if s[i].time >= q.yearEnd {
+				panic(fmt.Sprintf("calqueue %s: in-year event t=%g >= yearEnd=%g bucket %d", op, s[i].time, q.yearEnd, b))
+			}
+			n++
+		}
+	}
+	if n != q.inYear {
+		panic(fmt.Sprintf("calqueue %s: inYear=%d counted=%d", op, q.inYear, n))
+	}
+	for i, ev := range q.overflow {
+		if ev == nil {
+			panic(fmt.Sprintf("calqueue %s: nil overflow at %d", op, i))
+		}
+		if ev.bucket != bucketOverflow || ev.pos != int32(i) {
+			panic(fmt.Sprintf("calqueue %s: bad overflow backref at %d: bucket=%d pos=%d", op, i, ev.bucket, ev.pos))
+		}
+		if ev.time < q.yearEnd {
+			panic(fmt.Sprintf("calqueue %s: overflow event t=%g < yearEnd=%g", op, ev.time, q.yearEnd))
+		}
+	}
+}

@@ -4,10 +4,13 @@
 // runs: clusters, local resource managers, the GRAM service, applications and
 // the KOALA scheduler all advance by scheduling events on a shared Engine.
 //
-// Determinism is guaranteed by (a) a min-heap event queue ordered by
-// (time, insertion sequence) so simultaneous events fire in scheduling order,
-// and (b) the SplitMix64-based RNG in rng.go, seeded explicitly by every
-// experiment.
+// Determinism is guaranteed by (a) an event queue popped in strict
+// (time, insertion sequence) order so simultaneous events fire in scheduling
+// order, and (b) the SplitMix64-based RNG in rng.go, seeded explicitly by
+// every experiment. The queue is a calendar queue with an unsorted overflow
+// rung (calqueue.go): amortized O(1) insert and pop for the mostly-monotonic
+// event streams the simulator produces, with a pop order byte-identical to a
+// (time, seq) min-heap's.
 //
 // The kernel's hot path is allocation-free: fired and canceled Event structs
 // are recycled through a free list backed by an arena owned by the Engine,
@@ -52,10 +55,15 @@ type Stats interface {
 // recycles the struct for later events, so a retained stale handle may refer
 // to an unrelated live event. Clear stored handles when they fire.
 type Event struct {
-	engine   *Engine
-	time     float64
-	seq      uint64
-	index    int // heap index, -1 when not queued
+	engine *Engine
+	time   float64
+	seq    uint64
+	// bucket/pos locate the event inside the calendar queue for eager
+	// cancellation: the bucket index (or bucketOverflow for the far-future
+	// rung), and the position within that bucket's sorted slice. bucket is
+	// bucketNone while the event is not queued.
+	bucket   int32
+	pos      int32
 	fn       func()
 	h        Handler
 	op       int
@@ -76,127 +84,12 @@ func (e *Event) Cancel() {
 		return
 	}
 	e.canceled = true
-	if e.index >= 0 {
+	if e.bucket != bucketNone {
 		eng := e.engine
-		eng.heapRemove(e.index)
+		eng.q.remove(e)
 		eng.recycle(e)
 		eng.canceled++
 	}
-}
-
-// The event queue is a hand-rolled 4-ary min-heap on (time, seq). The
-// ordering key is a total order (seq is unique), so the pop sequence — and
-// with it every simulation result — is independent of the heap's internal
-// layout; the wider arity halves the sift depth of a binary heap and the
-// inlined operations avoid container/heap's interface dispatch, which
-// profiles as the dominant kernel cost at paper scale.
-const heapArity = 4
-
-func eventLess(a, b *Event) bool {
-	if a.time != b.time {
-		return a.time < b.time
-	}
-	return a.seq < b.seq
-}
-
-//koalalint:hotpath
-func (e *Engine) heapPush(ev *Event) {
-	ev.index = len(e.queue)
-	//koalalint:alloc amortized: the queue slice retains its capacity across events
-	e.queue = append(e.queue, ev)
-	e.heapUp(ev.index)
-}
-
-// heapPopMin removes and returns the earliest event.
-//
-//koalalint:hotpath
-func (e *Engine) heapPopMin() *Event {
-	q := e.queue
-	top := q[0]
-	last := len(q) - 1
-	q[0] = q[last]
-	q[0].index = 0
-	q[last] = nil
-	e.queue = q[:last]
-	if last > 1 {
-		e.heapDown(0)
-	}
-	top.index = -1
-	return top
-}
-
-// heapRemove removes the event at heap position i.
-//
-//koalalint:hotpath
-func (e *Engine) heapRemove(i int) {
-	q := e.queue
-	last := len(q) - 1
-	ev := q[i]
-	if i != last {
-		q[i] = q[last]
-		q[i].index = i
-	}
-	q[last] = nil
-	e.queue = q[:last]
-	if i < last {
-		if !e.heapDown(i) {
-			e.heapUp(i)
-		}
-	}
-	ev.index = -1
-}
-
-//koalalint:hotpath
-func (e *Engine) heapUp(i int) {
-	q := e.queue
-	ev := q[i]
-	for i > 0 {
-		parent := (i - 1) / heapArity
-		if !eventLess(ev, q[parent]) {
-			break
-		}
-		q[i] = q[parent]
-		q[i].index = i
-		i = parent
-	}
-	q[i] = ev
-	ev.index = i
-}
-
-// heapDown sifts position i towards the leaves; it reports whether the
-// element moved.
-//
-//koalalint:hotpath
-func (e *Engine) heapDown(i int) bool {
-	q := e.queue
-	n := len(q)
-	ev := q[i]
-	start := i
-	for {
-		first := i*heapArity + 1
-		if first >= n {
-			break
-		}
-		min := first
-		end := first + heapArity
-		if end > n {
-			end = n
-		}
-		for c := first + 1; c < end; c++ {
-			if eventLess(q[c], q[min]) {
-				min = c
-			}
-		}
-		if !eventLess(q[min], ev) {
-			break
-		}
-		q[i] = q[min]
-		q[i].index = i
-		i = min
-	}
-	q[i] = ev
-	ev.index = i
-	return i != start
 }
 
 // arenaChunk is how many Events one arena block holds; the free list grows
@@ -211,7 +104,7 @@ const arenaChunk = 256
 type Engine struct {
 	now     float64
 	seq     uint64
-	queue   []*Event
+	q       calQueue
 	stopped bool
 	fired   uint64
 
@@ -259,7 +152,7 @@ func (e *Engine) Fired() uint64 { return e.fired }
 
 // Pending returns the number of events currently queued. Canceled events are
 // removed from the queue eagerly, so the count is exact.
-func (e *Engine) Pending() int { return len(e.queue) }
+func (e *Engine) Pending() int { return e.q.pending() }
 
 // alloc hands out an Event from the free list, refilling from the arena
 // when it runs dry.
@@ -308,9 +201,9 @@ func (e *Engine) schedule(t float64) *Event {
 	ev.seq = e.seq
 	ev.canceled = false
 	e.seq++
-	e.heapPush(ev)
-	if len(e.queue) > e.pendingPeak {
-		e.pendingPeak = len(e.queue)
+	e.q.push(ev)
+	if n := e.q.pending(); n > e.pendingPeak {
+		e.pendingPeak = n
 	}
 	return ev
 }
@@ -369,15 +262,15 @@ func (e *Engine) Stop() { e.stopped = true }
 //
 //koalalint:hotpath
 func (e *Engine) step() bool {
-	for len(e.queue) > 0 {
-		ev := e.heapPopMin()
+	for e.q.pending() > 0 {
+		ev := e.q.popMin()
 		if ev.canceled {
 			// Cancel removes events eagerly; this is defensive only.
 			e.recycle(ev)
 			continue
 		}
 		if ev.time < e.now {
-			panic("sim: event heap returned an event from the past")
+			panic("sim: event queue returned an event from the past")
 		}
 		e.now = ev.time
 		e.fired++
@@ -426,7 +319,8 @@ func (e *Engine) flushStats() {
 func (e *Engine) RunUntil(horizon float64) float64 {
 	e.stopped = false
 	for !e.stopped {
-		if len(e.queue) == 0 || e.queue[0].time > horizon {
+		head := e.q.head()
+		if head == nil || head.time > horizon {
 			break
 		}
 		e.step()

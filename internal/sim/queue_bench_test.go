@@ -1,0 +1,53 @@
+package sim
+
+import "testing"
+
+// benchQueue measures steady-state push/pop (and optionally cancel+
+// reschedule) throughput of the calendar queue at a resident population of
+// 1024 events, for one insert pattern. Everything is preallocated: a
+// non-zero allocs/op here is a hot-path regression.
+func benchQueue(b *testing.B, next pattern, cancelHeavy bool) {
+	var q calQueue
+	events := make([]Event, 1024)
+	rng := NewRNG(1)
+	now := 0.0
+	for i := range events {
+		ev := &events[i]
+		ev.time = next(rng, now)
+		ev.seq = uint64(i)
+		q.push(ev)
+	}
+	seq := uint64(len(events))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if cancelHeavy && i%2 == 1 {
+			// Cancel a pseudo-random live event and reschedule it — the
+			// eager-cancel path under churn.
+			ev := &events[int(rng.Float64()*float64(len(events)))]
+			if ev.bucket != bucketNone {
+				q.remove(ev)
+				ev.time = next(rng, now)
+				ev.seq = seq
+				seq++
+				q.push(ev)
+				continue
+			}
+		}
+		ev := q.popMin()
+		now = ev.time
+		ev.time = next(rng, now)
+		ev.seq = seq
+		seq++
+		q.push(ev)
+	}
+}
+
+// BenchmarkEventQueue covers the insert regimes the queue is tuned for;
+// the entries are gated by tools/benchjson -compare in CI.
+func BenchmarkEventQueue(b *testing.B) {
+	b.Run("monotonic", func(b *testing.B) { benchQueue(b, patterns["monotonic"], false) })
+	b.Run("bimodal", func(b *testing.B) { benchQueue(b, patterns["bimodal"], false) })
+	b.Run("farfuture", func(b *testing.B) { benchQueue(b, patterns["farfuture"], false) })
+	b.Run("cancelheavy", func(b *testing.B) { benchQueue(b, patterns["bimodal"], true) })
+}

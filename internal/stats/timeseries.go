@@ -17,6 +17,19 @@ type TimeSeries struct {
 // NewTimeSeries returns an empty series.
 func NewTimeSeries() *TimeSeries { return &TimeSeries{} }
 
+// Reserve grows the series' capacity to hold at least n samples, sparing
+// callers that know their sample count up front the append doublings.
+func (ts *TimeSeries) Reserve(n int) {
+	if n <= cap(ts.times) {
+		return
+	}
+	times := make([]float64, len(ts.times), n)
+	values := make([]float64, len(ts.values), n)
+	copy(times, ts.times)
+	copy(values, ts.values)
+	ts.times, ts.values = times, values
+}
+
 // Add appends a sample at time t. Samples must be added in non-decreasing
 // time order; a sample at the same instant overwrites the previous value
 // (last writer wins, matching events that change state "simultaneously").

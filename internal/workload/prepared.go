@@ -1,0 +1,59 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/app"
+)
+
+// PreparedSpec is the immutable, share-once half of workload generation:
+// everything about a Spec that does not depend on the seed — validation,
+// the rendered job ID strings, and the resolved application profiles.
+// One PreparedSpec serves every replication of a sweep point; Generate
+// only draws the per-seed random choices, so batched replications skip
+// the fmt.Sprintf per job and the profile cache lookups per submission.
+//
+// A PreparedSpec is read-only after PrepareSpec returns and safe for
+// concurrent use by parallel replication workers.
+type PreparedSpec struct {
+	spec Spec
+	ids  []string
+
+	// Profiles are immutable and shared process-wide, so resolving them
+	// once here hands every generated item its profile without the
+	// per-call cache lookup in Item.JobSpec.
+	rigidFT     *app.Profile
+	rigidGadget *app.Profile
+}
+
+// PrepareSpec validates spec and precomputes its seed-independent parts.
+// The spec's Seed field is ignored; pass the seed to Generate.
+func PrepareSpec(spec Spec) (*PreparedSpec, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	p := &PreparedSpec{
+		spec:        spec,
+		ids:         make([]string, spec.Jobs),
+		rigidFT:     rigidProfile(FT, spec.RigidSize),
+		rigidGadget: rigidProfile(Gadget, spec.RigidSize),
+	}
+	for i := range p.ids {
+		p.ids[i] = fmt.Sprintf("%s-%03d", spec.Name, i)
+	}
+	return p, nil
+}
+
+// Spec returns the validated spec (Seed as passed to PrepareSpec).
+func (p *PreparedSpec) Spec() Spec { return p.spec }
+
+// Generate produces the workload for the given seed — byte-identical to
+// Generate(spec with that Seed) — reusing the prepared ID strings and
+// profile pointers. The returned Workload is freshly allocated and owned
+// by the caller; only the immutable parts are shared.
+func (p *PreparedSpec) Generate(seed uint64) *Workload {
+	spec := p.spec
+	spec.Seed = seed
+	w := generate(spec, p)
+	return w
+}

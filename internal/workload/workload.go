@@ -48,6 +48,17 @@ type Item struct {
 	App       AppKind
 	Malleable bool
 	Size      int // initial size (malleable) or fixed size (rigid)
+
+	// profile, when non-nil, is the pre-resolved application profile
+	// (set by PreparedSpec.Generate); JobSpec then skips the cache
+	// lookup. Profiles are canonical shared instances, so a prepared
+	// item's JobSpec is identical to an unprepared one's.
+	profile *app.Profile
+	// comps, when non-nil, is the item's ready single-component slice,
+	// diced out of the workload's arena by generate; JobSpec then
+	// allocates nothing. The scheduler treats submitted components as
+	// read-only, so sharing the arena backing is safe.
+	comps []koala.ComponentSpec
 }
 
 // Profiles are immutable after construction, so every item of every run can
@@ -85,16 +96,28 @@ func rigidProfile(kind AppKind, size int) *app.Profile {
 	return p
 }
 
+// Equal reports whether two items describe the same submission (the
+// arena-backed comps window is derived state and excluded).
+func (it Item) Equal(o Item) bool {
+	return it.ID == o.ID && it.SubmitAt == o.SubmitAt && it.App == o.App &&
+		it.Malleable == o.Malleable && it.Size == o.Size && it.profile == o.profile
+}
+
 // Spec builds Item.Spec's job description for submission to KOALA.
 func (it Item) JobSpec() koala.JobSpec {
-	var profile *app.Profile
-	switch {
-	case it.Malleable && it.App == FT:
-		profile = ftMalleable
-	case it.Malleable && it.App == Gadget:
-		profile = gadgetMalleable
-	default:
-		profile = rigidProfile(it.App, it.Size)
+	if it.comps != nil {
+		return koala.JobSpec{ID: it.ID, Components: it.comps}
+	}
+	profile := it.profile
+	if profile == nil {
+		switch {
+		case it.Malleable && it.App == FT:
+			profile = ftMalleable
+		case it.Malleable && it.App == Gadget:
+			profile = gadgetMalleable
+		default:
+			profile = rigidProfile(it.App, it.Size)
+		}
 	}
 	return koala.JobSpec{
 		ID:         it.ID,
@@ -173,8 +196,23 @@ func Generate(spec Spec) (*Workload, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
+	return generate(spec, nil), nil
+}
+
+// generate is the seeded generator core shared by Generate and
+// PreparedSpec.Generate. When prep is non-nil, the rendered ID strings
+// and resolved profiles are taken from it instead of being rebuilt; the
+// random draws are identical either way, so both paths produce the same
+// workload for the same spec and seed.
+func generate(spec Spec, prep *PreparedSpec) *Workload {
 	rng := sim.NewRNG(spec.Seed)
-	w := &Workload{Name: spec.Name}
+	w := &Workload{Name: spec.Name, Items: make([]Item, 0, spec.Jobs)}
+	// One flat component arena for the whole workload (prepared path):
+	// each item's JobSpec slice is a ready 1-element window into it.
+	var arena []koala.ComponentSpec
+	if prep != nil {
+		arena = make([]koala.ComponentSpec, spec.Jobs)
+	}
 	t := 0.0
 	for i := 0; i < spec.Jobs; i++ {
 		kind := FT
@@ -186,20 +224,37 @@ func Generate(spec Spec) (*Workload, error) {
 		if !malleable {
 			size = spec.RigidSize
 		}
-		w.Items = append(w.Items, Item{
-			ID:        fmt.Sprintf("%s-%03d", spec.Name, i),
+		it := Item{
 			SubmitAt:  t,
 			App:       kind,
 			Malleable: malleable,
 			Size:      size,
-		})
+		}
+		if prep != nil {
+			it.ID = prep.ids[i]
+			switch {
+			case malleable && kind == FT:
+				it.profile = ftMalleable
+			case malleable && kind == Gadget:
+				it.profile = gadgetMalleable
+			case kind == FT:
+				it.profile = prep.rigidFT
+			default:
+				it.profile = prep.rigidGadget
+			}
+			arena[i] = koala.ComponentSpec{Profile: it.profile, Size: it.Size}
+			it.comps = arena[i : i+1 : i+1]
+		} else {
+			it.ID = fmt.Sprintf("%s-%03d", spec.Name, i)
+		}
+		w.Items = append(w.Items, it)
 		if spec.PoissonArrivals {
 			t += rng.ExpFloat64() * spec.InterArrival
 		} else {
 			t += spec.InterArrival
 		}
 	}
-	return w, nil
+	return w
 }
 
 // Wm returns the all-malleable PRA workload of §VI-C (300 jobs, 120 s
@@ -249,9 +304,14 @@ func SpecByName(name string, seed uint64) (Spec, error) {
 	}
 }
 
-// Submitter replays a workload into a scheduler at the items' submit times.
+// Submitter replays a workload into a scheduler at the items' submit
+// times. It is a sim.Handler: one Submitter serves every submission
+// event with the item index as the op code, so replaying a 300-job
+// workload schedules zero per-item closures.
 type Submitter struct {
 	engine    *sim.Engine
+	w         *Workload
+	submit    func(koala.JobSpec) error
 	submitted int
 	errs      []error
 }
@@ -259,18 +319,21 @@ type Submitter struct {
 // Submit schedules every item of w for submission through submit. The
 // returned Submitter reports progress and collected errors.
 func Submit(engine *sim.Engine, w *Workload, submit func(koala.JobSpec) error) *Submitter {
-	s := &Submitter{engine: engine}
-	for _, it := range w.Items {
-		it := it
-		engine.At(it.SubmitAt, func() {
-			if err := submit(it.JobSpec()); err != nil {
-				s.errs = append(s.errs, fmt.Errorf("submit %s: %w", it.ID, err))
-				return
-			}
-			s.submitted++
-		})
+	s := &Submitter{engine: engine, w: w, submit: submit}
+	for i, it := range w.Items {
+		engine.AtOp(it.SubmitAt, s, i)
 	}
 	return s
+}
+
+// OnEvent implements sim.Handler: submit item op.
+func (s *Submitter) OnEvent(op int) {
+	it := s.w.Items[op]
+	if err := s.submit(it.JobSpec()); err != nil {
+		s.errs = append(s.errs, fmt.Errorf("submit %s: %w", it.ID, err))
+		return
+	}
+	s.submitted++
 }
 
 // Submitted returns how many items were accepted so far.

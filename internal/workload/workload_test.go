@@ -69,14 +69,14 @@ func TestGenerateDeterministic(t *testing.T) {
 	a, _ := Generate(Wmr(42))
 	b, _ := Generate(Wmr(42))
 	for i := range a.Items {
-		if a.Items[i] != b.Items[i] {
+		if !a.Items[i].Equal(b.Items[i]) {
 			t.Fatalf("item %d differs across same-seed generations", i)
 		}
 	}
 	c, _ := Generate(Wmr(43))
 	same := true
 	for i := range a.Items {
-		if a.Items[i] != c.Items[i] {
+		if !a.Items[i].Equal(c.Items[i]) {
 			same = false
 			break
 		}
@@ -183,7 +183,7 @@ func TestTraceRoundTrip(t *testing.T) {
 		t.Fatalf("round trip: name=%q items=%d", got.Name, len(got.Items))
 	}
 	for i := range w.Items {
-		if got.Items[i] != w.Items[i] {
+		if !got.Items[i].Equal(w.Items[i]) {
 			t.Fatalf("item %d: %+v != %+v", i, got.Items[i], w.Items[i])
 		}
 	}

@@ -1,0 +1,59 @@
+package sim
+
+// Calendar-queue fixture: a miniature of the real queue's insert/pop/
+// resize surface, checking that the marked hot-path operations stay
+// allocation-free except for the annotated amortized growth points.
+
+// QEvent mirrors the event handle the queue stores.
+type QEvent struct {
+	time float64
+	seq  uint64
+	pos  int32
+}
+
+type calQueue struct {
+	buckets  [][]*QEvent
+	overflow []*QEvent
+	cur      int
+}
+
+//koalalint:hotpath
+func (q *calQueue) push(ev *QEvent) {
+	if ev.time > 1e6 {
+		//koalalint:alloc amortized: the overflow rung retains its capacity across events
+		q.overflow = append(q.overflow, ev)
+		return
+	}
+	q.bucketInsert(0, ev)
+}
+
+//koalalint:hotpath
+func (q *calQueue) bucketInsert(b int, ev *QEvent) {
+	s := q.buckets[b]
+	//koalalint:alloc amortized: bucket slices retain their capacity across events
+	s = append(s, ev)
+	q.buckets[b] = s
+}
+
+//koalalint:hotpath
+func (q *calQueue) popMin() *QEvent {
+	s := q.buckets[q.cur]
+	ev := s[0]
+	q.buckets[q.cur] = s[1:]
+	return ev
+}
+
+// grow is the resize path: unmarked, so the doubling allocation is free to
+// happen here (it is amortized across years in the real queue).
+func (q *calQueue) grow() {
+	grown := make([][]*QEvent, 2*len(q.buckets))
+	copy(grown, q.buckets)
+	q.buckets = grown
+}
+
+//koalalint:hotpath
+func (q *calQueue) queueViolations() {
+	q.overflow = append(q.overflow, nil) // want `append allocates in hot-path function queueViolations`
+	_ = &QEvent{}                        // want `composite literal allocates in hot-path function queueViolations`
+	_ = make([]*QEvent, 8)               // want `make allocates in hot-path function queueViolations`
+}
